@@ -1,0 +1,33 @@
+// Extension bench: latency scaling with batch size. Edge inference is
+// batch-1 (every paper table uses one sample), but the same stack serves
+// small batches; this sweep shows near-linear scaling once the device is
+// saturated and sub-linear scaling while batch parallelism still fills idle
+// compute units.
+#include <cstdio>
+
+#include "core/compiler.h"
+#include "models/models.h"
+#include "sim/device_spec.h"
+
+int main() {
+  using namespace igc;  // NOLINT
+  std::printf("\n=== Batch-size sweep: ResNet50_v1 ===\n");
+  std::printf("%-14s | %10s %10s %10s %10s | per-sample @8 vs @1\n", "device",
+              "b=1", "b=2", "b=4", "b=8");
+  for (const sim::Platform& plat : sim::all_platforms()) {
+    double ms[4];
+    int i = 0;
+    for (int64_t batch : {1, 2, 4, 8}) {
+      Rng rng(0x5eed);
+      CompileOptions opts;
+      opts.tune_trials = 64;
+      CompiledModel cm =
+          compile(models::build_resnet50(rng, 224, batch), plat, opts);
+      ms[i++] = cm.run(1, false).latency_ms;
+    }
+    std::printf("%-14s | %9.2f %9.2f %9.2f %9.2f | %.2fx\n",
+                plat.name.c_str(), ms[0], ms[1], ms[2], ms[3],
+                (ms[3] / 8.0) / ms[0]);
+  }
+  return 0;
+}

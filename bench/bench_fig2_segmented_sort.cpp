@@ -1,0 +1,92 @@
+// Figure 2: the segmented-sort pipeline. Benchmarks both the simulated-GPU
+// latency (optimized pipeline vs naive one-thread-per-segment mapping, per
+// device) and the host-side throughput of the implementation itself via
+// google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "core/rng.h"
+#include "ops/vision/segmented_sort.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace igc;  // NOLINT
+
+/// NMS-like workload: one large background segment plus many small ones.
+void make_workload(int64_t n, int64_t num_segs, std::vector<float>* values,
+                   ops::Segments* segs) {
+  Rng rng(1234);
+  values->resize(static_cast<size_t>(n));
+  for (float& v : *values) v = rng.next_float(0.0f, 1.0f);
+  segs->offsets.clear();
+  segs->offsets.push_back(0);
+  // First segment takes half the data (skew), the rest split evenly.
+  const int64_t first = n / 2;
+  segs->offsets.push_back(first);
+  const int64_t rest = num_segs > 1 ? (n - first) / (num_segs - 1) : 0;
+  for (int64_t s = 1; s + 1 < num_segs; ++s) {
+    segs->offsets.push_back(first + s * rest);
+  }
+  segs->offsets.push_back(n);
+}
+
+void report_simulated_latency() {
+  std::printf("\n=== Figure 2: segmented argsort, simulated GPU latency ===\n");
+  std::printf("%-14s %10s %8s | %12s %12s %8s\n", "device", "n", "segs",
+              "optimized", "naive", "speedup");
+  for (auto id : {sim::PlatformId::kDeepLens, sim::PlatformId::kAiSage,
+                  sim::PlatformId::kJetsonNano}) {
+    for (int64_t n : {2000, 8000, 24564}) {
+      std::vector<float> values;
+      ops::Segments segs;
+      make_workload(n, 64, &values, &segs);
+      sim::SimClock c_opt, c_naive;
+      sim::GpuSimulator g_opt(sim::platform(id).gpu, c_opt);
+      sim::GpuSimulator g_naive(sim::platform(id).gpu, c_naive);
+      ops::segmented_argsort_gpu(g_opt, values, segs);
+      ops::segmented_argsort_gpu_naive(g_naive, values, segs);
+      std::printf("%-14s %10lld %8d | %10.3fms %10.3fms %7.1fx\n",
+                  sim::platform(id).gpu.name.c_str(),
+                  static_cast<long long>(n), 64, c_opt.total_ms(),
+                  c_naive.total_ms(), c_naive.total_ms() / c_opt.total_ms());
+    }
+  }
+  std::printf("\n");
+}
+
+void bm_segmented_sort_optimized(benchmark::State& state) {
+  std::vector<float> values;
+  ops::Segments segs;
+  make_workload(state.range(0), 64, &values, &segs);
+  sim::SimClock clock;
+  sim::GpuSimulator gpu(sim::platform(sim::PlatformId::kDeepLens).gpu, clock);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::segmented_argsort_gpu(gpu, values, segs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_segmented_sort_optimized)->Arg(2000)->Arg(8000)->Arg(24564);
+
+void bm_segmented_sort_reference(benchmark::State& state) {
+  std::vector<float> values;
+  ops::Segments segs;
+  make_workload(state.range(0), 64, &values, &segs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops::segmented_argsort_reference(values, segs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_segmented_sort_reference)->Arg(2000)->Arg(24564);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_simulated_latency();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

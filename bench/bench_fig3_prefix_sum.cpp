@@ -1,0 +1,73 @@
+// Figure 3: the three-stage prefix sum (up-sweep / scan / down-sweep with
+// register blocking) against the naive all-element Hillis-Steele scan that
+// needs log2(n) device-wide synchronizations.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "core/rng.h"
+#include "ops/vision/prefix_sum.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace igc;  // NOLINT
+
+std::vector<float> make_input(int64_t n) {
+  Rng rng(42);
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) x = static_cast<float>(rng.next_int(0, 9));
+  return v;
+}
+
+void report_simulated_latency() {
+  std::printf("\n=== Figure 3: prefix sum (scan), simulated GPU latency ===\n");
+  std::printf("%-14s %10s | %12s %12s %8s\n", "device", "n", "3-stage",
+              "naive-HS", "speedup");
+  for (auto id : {sim::PlatformId::kDeepLens, sim::PlatformId::kAiSage,
+                  sim::PlatformId::kJetsonNano}) {
+    for (int64_t n : {1000, 10000, 100000, 1000000}) {
+      const std::vector<float> in = make_input(n);
+      sim::SimClock c_opt, c_naive;
+      sim::GpuSimulator g_opt(sim::platform(id).gpu, c_opt);
+      sim::GpuSimulator g_naive(sim::platform(id).gpu, c_naive);
+      ops::prefix_sum_gpu(g_opt, in);
+      ops::prefix_sum_gpu_naive(g_naive, in);
+      std::printf("%-14s %10lld | %10.3fms %10.3fms %7.1fx\n",
+                  sim::platform(id).gpu.name.c_str(),
+                  static_cast<long long>(n), c_opt.total_ms(),
+                  c_naive.total_ms(), c_naive.total_ms() / c_opt.total_ms());
+    }
+  }
+  std::printf("\n");
+}
+
+void bm_prefix_sum_three_stage(benchmark::State& state) {
+  const std::vector<float> in = make_input(state.range(0));
+  sim::SimClock clock;
+  sim::GpuSimulator gpu(sim::platform(sim::PlatformId::kAiSage).gpu, clock);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::prefix_sum_gpu(gpu, in));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_prefix_sum_three_stage)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void bm_prefix_sum_reference(benchmark::State& state) {
+  const std::vector<float> in = make_input(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::prefix_sum_reference(in));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_prefix_sum_reference)->Arg(10000)->Arg(1000000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_simulated_latency();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Table 1: our solution vs Intel OpenVINO on AWS DeepLens (Intel HD 505).
+// OpenVINO only supports the image-classification models; the detection
+// rows print "-" exactly as in the paper.
+#include "table_common.h"
+
+int main() {
+  using igc::bench::PaperRow;
+  const std::vector<PaperRow> paper = {
+      {"ResNet50_v1", 186.15, 203.60},
+      {"MobileNet1.0", 85.58, 53.48},
+      {"SqueezeNet1.0", 52.10, 42.01},
+      {"SSD_MobileNet1.0", 398.48, -1},
+      {"SSD_ResNet50", 1006.01, -1},
+      {"Yolov3", 1004.13, -1},
+  };
+  igc::bench::run_platform_table(
+      igc::sim::PlatformId::kDeepLens,
+      "Table 1: AWS DeepLens (Intel HD Graphics 505), ours vs OpenVINO",
+      "OpenVINO", paper);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Table 2: our solution vs ARM Compute Library on Acer aiSage (Mali T-860).
+// Detection inputs shrink to 300x300 (320 for YOLOv3) due to the Mali
+// memory limitation the paper notes.
+#include "table_common.h"
+
+int main() {
+  using igc::bench::PaperRow;
+  const std::vector<PaperRow> paper = {
+      {"ResNet50_v1", 345.60, 358.17},
+      {"MobileNet1.0", 78.83, 95.00},
+      {"SqueezeNet1.0", 66.61, 77.10},
+      {"SSD_MobileNet1.0", 243.16, 216.87},
+      {"SSD_ResNet50", 777.26, 737.90},
+      {"Yolov3", 1097.47, 1042.90},
+  };
+  igc::bench::run_platform_table(
+      igc::sim::PlatformId::kAiSage,
+      "Table 2: Acer aiSage (ARM Mali T-860), ours vs ACL", "ACL", paper);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Table 3: our solution vs cuDNN-backed MXNet on Nvidia Jetson Nano
+// (128-core Maxwell).
+#include "table_common.h"
+
+int main() {
+  using igc::bench::PaperRow;
+  const std::vector<PaperRow> paper = {
+      {"ResNet50_v1", 113.81, 117.22},
+      {"MobileNet1.0", 20.63, 30.71},
+      {"SqueezeNet1.0", 26.58, 42.98},
+      {"SSD_MobileNet1.0", 135.5, 197.3},
+      {"SSD_ResNet50", 371.32, 478.33},
+      {"Yolov3", 553.79, 802.41},
+  };
+  igc::bench::run_platform_table(
+      igc::sim::PlatformId::kJetsonNano,
+      "Table 3: Nvidia Jetson Nano (Maxwell), ours vs cuDNN/MXNet", "cuDNN",
+      paper);
+  return 0;
+}

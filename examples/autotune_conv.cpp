@@ -1,0 +1,50 @@
+// The AutoTVM loop up close (Sec. 3.2.3): tune one convolution workload on
+// all three devices with each search strategy, showing the search progress
+// and how different hardware prefers different schedules.
+#include <cstdio>
+
+#include "ops/nn/conv2d.h"
+#include "sim/device_spec.h"
+#include "tune/tuner.h"
+
+int main() {
+  using namespace igc;  // NOLINT
+  // A ResNet-50 stage-2 workload.
+  ops::Conv2dParams p;
+  p.in_channels = 128;
+  p.out_channels = 128;
+  p.in_h = p.in_w = 28;
+  p.kernel_h = p.kernel_w = 3;
+  p.pad_h = p.pad_w = 1;
+  std::printf("workload: %s (%.1f MFLOPs)\n", p.workload_key().c_str(),
+              static_cast<double>(p.flops()) / 1e6);
+
+  for (const sim::Platform& plat : sim::all_platforms()) {
+    const sim::DeviceSpec& dev = plat.gpu;
+    const tune::ConfigSpace space = ops::conv2d_config_space(p, dev);
+    const tune::MeasureFn measure = [&](const tune::ScheduleConfig& cfg) {
+      return ops::conv2d_latency_ms(p, cfg, dev);
+    };
+    std::printf("\n%s: %lld configs in the space\n", dev.name.c_str(),
+                static_cast<long long>(space.size()));
+    const auto manual = ops::conv2d_manual_schedule(p, dev);
+    std::printf("  manual template: %-52s %.3f ms\n", manual.str().c_str(),
+                ops::conv2d_latency_ms(p, manual, dev));
+    for (auto s : {tune::SearchStrategy::kRandom,
+                   tune::SearchStrategy::kSimulatedAnnealing,
+                   tune::SearchStrategy::kModelGuided}) {
+      tune::TuneOptions opts;
+      opts.strategy = s;
+      opts.n_trials = 128;
+      const tune::TuneResult r = tune::tune(space, measure, opts);
+      const char* name = s == tune::SearchStrategy::kRandom ? "random"
+                         : s == tune::SearchStrategy::kSimulatedAnnealing
+                             ? "sim-anneal"
+                             : "model-guided";
+      std::printf("  %-12s best %-42s %.3f ms (%.1fx over naive default)\n",
+                  name, r.best_config.str().c_str(), r.best_ms,
+                  r.default_ms / r.best_ms);
+    }
+  }
+  return 0;
+}

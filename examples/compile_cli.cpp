@@ -1,0 +1,121 @@
+// igc-compile: the command-line face of the stack — what a deployment
+// service (the paper's SageMaker Neo) would invoke per (model, device).
+//
+//   compile_cli <model> <device> [--trials N] [--fallback-nms]
+//               [--dump-graph] [--dump-kernels] [--save-db PATH]
+//               [--load-db PATH] [--untuned]
+//
+//   model:  resnet50 | mobilenet | squeezenet | ssd_mobilenet | ssd_resnet50
+//           | yolov3 | fcn
+//   device: aws-deeplens | acer-aisage | jetson-nano
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/compiler.h"
+#include "models/models.h"
+#include "sim/device_spec.h"
+#include "tune/tunedb.h"
+
+namespace {
+
+igc::models::Model build_by_name(const std::string& name, igc::Rng& rng) {
+  using namespace igc::models;  // NOLINT
+  if (name == "resnet50") return build_resnet50(rng);
+  if (name == "mobilenet") return build_mobilenet(rng);
+  if (name == "squeezenet") return build_squeezenet(rng);
+  if (name == "ssd_mobilenet") return build_ssd(rng, SsdBackbone::kMobileNet, 512);
+  if (name == "ssd_resnet50") return build_ssd(rng, SsdBackbone::kResNet50, 512);
+  if (name == "yolov3") return build_yolov3(rng, 416);
+  if (name == "fcn") return build_fcn_resnet50(rng);
+  std::fprintf(stderr, "unknown model '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace igc;  // NOLINT
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <model> <device> [--trials N] [--fallback-nms] "
+                 "[--dump-graph] [--dump-kernels] [--save-db PATH] "
+                 "[--load-db PATH] [--untuned]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string model_name = argv[1];
+  const sim::Platform& platform = sim::platform_by_name(argv[2]);
+
+  CompileOptions opts;
+  bool dump_graph = false, dump_kernels = false;
+  std::string save_db, load_db;
+  for (int i = 3; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--trials") && i + 1 < argc) {
+      opts.tune_trials = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--fallback-nms")) {
+      opts.cpu_fallback_ops = {graph::OpKind::kBoxNms,
+                               graph::OpKind::kSsdDetection,
+                               graph::OpKind::kMultiboxDetection};
+    } else if (!std::strcmp(argv[i], "--dump-graph")) {
+      dump_graph = true;
+    } else if (!std::strcmp(argv[i], "--dump-kernels")) {
+      dump_kernels = true;
+    } else if (!std::strcmp(argv[i], "--save-db") && i + 1 < argc) {
+      save_db = argv[++i];
+    } else if (!std::strcmp(argv[i], "--load-db") && i + 1 < argc) {
+      load_db = argv[++i];
+    } else if (!std::strcmp(argv[i], "--untuned")) {
+      opts.skip_tuning = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  tune::TuneDb warm;
+  if (!load_db.empty()) {
+    warm = tune::TuneDb::load(load_db);
+    opts.warm_db = &warm;
+    std::printf("loaded %zu tuning records from %s\n", warm.size(),
+                load_db.c_str());
+  }
+
+  Rng rng(0x5eed);
+  models::Model model = build_by_name(model_name, rng);
+  std::printf("compiling %s for %s (%d trials/workload)...\n",
+              model.name.c_str(), platform.name.c_str(), opts.tune_trials);
+  const CompiledModel cm = compile(std::move(model), platform, opts);
+  std::printf("  %d GPU nodes, %d CPU nodes, %d copies; %zu tuned workloads\n",
+              cm.pass_stats().gpu_nodes, cm.pass_stats().cpu_nodes,
+              cm.pass_stats().copies_inserted, cm.tune_db().size());
+
+  const bool big_model = model_name.rfind("ssd", 0) == 0 ||
+                         model_name == "yolov3" || model_name == "fcn";
+  const RunResult r = cm.run(1, /*compute_numerics=*/!big_model);
+  std::printf("  latency %.2f ms (conv %.2f, vision %.2f, copies %.3f, other "
+              "%.2f)\n",
+              r.latency_ms, r.conv_ms, r.vision_ms, r.copy_ms, r.other_ms);
+  const auto plan = cm.memory_plan();
+  std::printf("  activation memory: %.2f MB planned (%.2f MB unshared)\n",
+              static_cast<double>(plan.total_bytes()) / 1e6,
+              static_cast<double>(plan.unshared_bytes) / 1e6);
+
+  if (!save_db.empty()) {
+    cm.tune_db().save(save_db);
+    std::printf("saved %zu tuning records to %s\n", cm.tune_db().size(),
+                save_db.c_str());
+  }
+  if (dump_graph) {
+    std::printf("\n-- optimized graph --\n");
+    // Re-derive from the compiled model's run-facing view: print via a fresh
+    // compile-time summary (the graph lives inside CompiledModel).
+    std::printf("%s", cm.graph_summary().c_str());
+  }
+  if (dump_kernels) {
+    for (const auto& [key, src] : cm.generated_sources()) {
+      std::printf("\n-- %s --\n%s", key.c_str(), src.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// The unified-IR story (Fig. 1): one scheduled convolution program lowered
+// once and emitted as OpenCL C (for Intel Graphics / ARM Mali) and as CUDA C
+// (for Nvidia) — then validated numerically by interpreting the IR against
+// the operator library's reference convolution.
+#include <cstdio>
+
+#include "codegen/codegen.h"
+#include "core/rng.h"
+#include "ir/interp.h"
+#include "ops/nn/conv2d.h"
+#include "sim/device_spec.h"
+
+int main() {
+  using namespace igc;  // NOLINT
+  ops::Conv2dParams p;
+  p.in_channels = 8;
+  p.in_h = p.in_w = 16;
+  p.out_channels = 16;
+  p.kernel_h = p.kernel_w = 3;
+  p.pad_h = p.pad_w = 1;
+
+  tune::ScheduleConfig cfg;
+  cfg.set("tile_oc", 4);
+  cfg.set("tile_ow", 4);
+  cfg.set("unroll", 2);
+
+  const ir::LoweredKernel kernel = ops::conv2d_build_ir(p, cfg);
+  std::printf("schedule: %s\ngrid=%lld blocks, block=%lld threads\n\n",
+              cfg.str().c_str(), static_cast<long long>(kernel.grid_size()),
+              static_cast<long long>(kernel.block_size()));
+
+  std::printf("---- OpenCL C (Intel HD 505, subgroups enabled) ----\n%s\n",
+              codegen::emit_for_device(
+                  kernel, sim::platform(sim::PlatformId::kDeepLens).gpu)
+                  .c_str());
+  std::printf("---- CUDA C (Jetson Nano) ----\n%s\n",
+              codegen::emit_for_device(
+                  kernel, sim::platform(sim::PlatformId::kJetsonNano).gpu)
+                  .c_str());
+
+  // Validate the IR numerically against the reference convolution.
+  Rng rng(3);
+  Tensor input = Tensor::random_uniform(Shape{1, 8, 16, 16}, rng);
+  Tensor weight = Tensor::random_uniform(Shape{16, 8, 3, 3}, rng);
+  Tensor out = Tensor::zeros(Shape{1, 16, 16, 16});
+  ir::interpret(kernel, {{"data", input}, {"weight", weight}, {"out", out}});
+  const Tensor expected = ops::conv2d_reference(input, weight, nullptr, p);
+  std::printf("interpreted IR vs reference: max |diff| = %.2e\n",
+              out.max_abs_diff(expected));
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Emulated vendor inference stacks — the baselines of Tables 1-3.
+//
+// The paper compares against Intel OpenVINO (clDNN), ARM Compute Library,
+// and cuDNN-backed MXNet. None of those runs in this environment, so each is
+// modeled as an efficiency profile: for every operator class, the fraction
+// of device peak the vendor's fixed expert kernels achieve, plus a per-op
+// framework overhead. The profiles (src/baselines/vendor.cpp) are the single
+// calibration point of this reproduction — everything on the "ours" side
+// comes from real search over the simulator cost model.
+//
+// Coverage gaps mirror the paper:
+//   * OpenVINO rejects the object-detection models outright (Table 1 "-");
+//   * ACL has no model runtime: vision ops run on the CPU via the manual
+//     graph surgery the authors describe;
+//   * MXNet+cuDNN runs vision ops on the GPU, but with the naive mapping.
+#pragma once
+
+#include <string>
+
+#include "core/rng.h"
+#include "models/models.h"
+#include "sim/device_spec.h"
+
+namespace igc::baselines {
+
+enum class VendorLib { kOpenVino, kAcl, kCudnnMxnet };
+
+std::string_view vendor_name(VendorLib lib);
+
+struct BaselineResult {
+  bool supported = true;
+  std::string unsupported_reason;
+  double latency_ms = 0.0;
+};
+
+/// End-to-end latency of `model` under the emulated vendor stack on
+/// `platform`. Returns supported=false where the real stack lacks coverage.
+BaselineResult run_baseline(VendorLib lib, const models::Model& model,
+                            const sim::Platform& platform);
+
+/// The vendor stack expected on a platform (OpenVINO on Intel, ACL on Mali,
+/// cuDNN/MXNet on Nvidia).
+VendorLib vendor_for(const sim::Platform& platform);
+
+}  // namespace igc::baselines

@@ -1,0 +1,30 @@
+// Code generation from the unified IR (Fig. 1: "Code generation" stage).
+//
+// The same LoweredKernel is printed as OpenCL C for Intel Graphics and ARM
+// Mali, or as CUDA C for Nvidia GPUs. Bound itervars become
+// get_group_id()/get_local_id() (OpenCL) or blockIdx/threadIdx (CUDA);
+// unrolled loops get the dialect's unroll pragma; vectorized loops are
+// annotated for the target compiler's vectorizer; barriers map to
+// barrier(CLK_LOCAL_MEM_FENCE) / __syncthreads().
+#pragma once
+
+#include <string>
+
+#include "ir/expr.h"
+#include "sim/device_spec.h"
+
+namespace igc::codegen {
+
+/// Emits OpenCL C source for the kernel. `use_intel_subgroups` additionally
+/// emits the Intel subgroup extension pragma (Sec. 3.2.1).
+std::string emit_opencl(const ir::LoweredKernel& kernel,
+                        bool use_intel_subgroups = false);
+
+/// Emits CUDA C source for the kernel.
+std::string emit_cuda(const ir::LoweredKernel& kernel);
+
+/// Dispatches on the device's API (OpenCL for Intel/Mali, CUDA for Nvidia).
+std::string emit_for_device(const ir::LoweredKernel& kernel,
+                            const sim::DeviceSpec& dev);
+
+}  // namespace igc::codegen

@@ -1,0 +1,79 @@
+#include "core/compiler.h"
+
+#include "codegen/codegen.h"
+#include "graphtune/graph_tuner.h"
+#include "ops/nn/conv2d.h"
+#include "tune/conv_tuner.h"
+
+namespace igc {
+
+CompiledModel compile(models::Model model, const sim::Platform& platform,
+                      const CompileOptions& opts) {
+  CompiledModel cm;
+  cm.name_ = model.name;
+  cm.platform_ = &platform;
+  cm.graph_ = std::move(model.graph);
+  cm.pass_stats_ = graph::optimize(cm.graph_, opts.cpu_fallback_ops);
+  if (opts.warm_db != nullptr) cm.db_ = *opts.warm_db;
+  cm.tuned_ = !opts.skip_tuning;
+  if (!opts.skip_tuning) {
+    tune::TuneOptions topts;
+    topts.n_trials = opts.tune_trials;
+    topts.strategy = opts.strategy;
+    const graphtune::GraphTuneResult layouts =
+        graphtune::tune_graph_layouts(cm.graph_, platform.gpu, cm.db_, topts);
+    cm.layouts_ = layouts.layout_of_conv;
+  }
+  return cm;
+}
+
+RunResult CompiledModel::run(uint64_t input_seed, bool compute_numerics) const {
+  graph::ExecOptions eopts;
+  eopts.compute_numerics = compute_numerics;
+  eopts.use_tuned_configs = tuned_;
+  eopts.db = &db_;
+  eopts.conv_layout_block = layouts_;
+  Rng rng(input_seed);
+  const graph::ExecResult r = graph::execute(graph_, *platform_, eopts, rng);
+  RunResult out;
+  out.output = r.output;
+  out.latency_ms = r.latency_ms;
+  out.conv_ms = r.conv_ms;
+  out.vision_ms = r.vision_ms;
+  out.copy_ms = r.copy_ms;
+  out.other_ms = r.other_ms;
+  return out;
+}
+
+graph::MemoryPlan CompiledModel::memory_plan() const {
+  return graph::plan_memory(graph_);
+}
+
+std::map<std::string, std::string> CompiledModel::generated_sources() const {
+  std::map<std::string, std::string> out;
+  for (int id : graph_.conv_node_ids()) {
+    const auto& p = graph_.node(id).conv;
+    if (p.groups != 1) continue;  // IR lowering covers non-grouped conv
+    const std::string key = p.workload_key();
+    if (out.count(key)) continue;
+    const int block = [&] {
+      auto it = layouts_.find(id);
+      return it == layouts_.end() ? 1 : it->second;
+    }();
+    tune::ScheduleConfig cfg =
+        tune::lookup_or_default(p, platform_->gpu, block, &db_);
+    // The IR lowering tiles along oc/ow; fall back to safe divisors if the
+    // tuned tiles do not divide (remainder handling is a codegen TODO).
+    auto fix_tile = [&](const char* knob, int64_t extent) {
+      int64_t t = cfg.get_or(knob, 1);
+      if (t <= 0 || extent % t != 0) cfg.set(knob, 1);
+    };
+    fix_tile("tile_oc", p.out_channels);
+    fix_tile("tile_ow", p.out_w());
+    const ir::LoweredKernel kernel = ops::conv2d_build_ir(p, cfg);
+    out.emplace(key, codegen::emit_for_device(kernel, platform_->gpu));
+  }
+  return out;
+}
+
+}  // namespace igc

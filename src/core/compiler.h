@@ -1,0 +1,93 @@
+// The top-level public API: compile a model for a platform, then run it.
+//
+// Bundles the full Fig. 1 pipeline — graph-level optimization, heterogeneous
+// placement, tensor-level schedule search (AutoTVM), graph-level layout
+// tuning, and code generation — behind two calls:
+//
+//   igc::CompileOptions copts;
+//   igc::CompiledModel cm = igc::compile(std::move(model), platform, copts);
+//   igc::RunResult r = cm.run();
+//
+// This is the interface the Amazon SageMaker Neo-style service in the paper
+// exposes to application developers.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "graph/executor.h"
+#include "graph/graph.h"
+#include "graph/memory_planner.h"
+#include "graph/passes.h"
+#include "models/models.h"
+#include "sim/device_spec.h"
+#include "tune/tunedb.h"
+#include "tune/tuner.h"
+
+namespace igc {
+
+struct CompileOptions {
+  /// Measurement budget per convolution workload.
+  int tune_trials = 96;
+  tune::SearchStrategy strategy = tune::SearchStrategy::kModelGuided;
+  /// Operator kinds to fall back to the companion CPU (Sec. 3.1.2).
+  std::set<graph::OpKind> cpu_fallback_ops;
+  /// Reuse a pre-populated tuning database (e.g. loaded from disk) so
+  /// compilation never searches the same workload twice (Sec. 3.2.3).
+  const tune::TuneDb* warm_db = nullptr;
+  /// Skip tuning entirely: run the hand-written templates (for comparisons).
+  bool skip_tuning = false;
+};
+
+struct RunResult {
+  Tensor output;
+  double latency_ms = 0.0;
+  double conv_ms = 0.0;
+  double vision_ms = 0.0;
+  double copy_ms = 0.0;
+  double other_ms = 0.0;
+};
+
+class CompiledModel {
+ public:
+  /// Runs one inference. `compute_numerics` off propagates shapes and
+  /// synthetic detection data only (fast for full-size models).
+  RunResult run(uint64_t input_seed = 0xbe5c,
+                bool compute_numerics = true) const;
+
+  const std::string& model_name() const { return name_; }
+  const sim::Platform& platform() const { return *platform_; }
+  const graph::PassStats& pass_stats() const { return pass_stats_; }
+  const tune::TuneDb& tune_db() const { return db_; }
+  const std::map<int, int>& layouts() const { return layouts_; }
+  /// Static memory plan of the optimized graph.
+  graph::MemoryPlan memory_plan() const;
+
+  /// Table view of the optimized, placed graph (Graph::summary).
+  std::string graph_summary() const { return graph_.summary(); }
+
+  /// OpenCL or CUDA source (per the platform's API) for every distinct
+  /// tuned convolution kernel, keyed by workload.
+  std::map<std::string, std::string> generated_sources() const;
+
+ private:
+  friend CompiledModel compile(models::Model model,
+                               const sim::Platform& platform,
+                               const CompileOptions& opts);
+  std::string name_;
+  graph::Graph graph_;
+  const sim::Platform* platform_ = nullptr;
+  graph::PassStats pass_stats_;
+  tune::TuneDb db_;
+  std::map<int, int> layouts_;
+  bool tuned_ = true;
+};
+
+/// Compiles `model` for `platform`: optimizes the graph, tunes every conv
+/// workload, and solves the layout DP. Deterministic for fixed inputs.
+CompiledModel compile(models::Model model, const sim::Platform& platform,
+                      const CompileOptions& opts = {});
+
+}  // namespace igc

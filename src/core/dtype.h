@@ -1,0 +1,78 @@
+// Scalar element types supported by igc tensors.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/error.h"
+
+namespace igc {
+
+/// Element type of a tensor. The simulator executes all floating point math
+/// in fp32 on the host; kInt32 is used for indices (argsort, NMS outputs).
+enum class DType : uint8_t {
+  kFloat32,
+  kInt32,
+  kInt8,
+  kUInt8,
+};
+
+/// Size in bytes of one element of `t`.
+constexpr int64_t dtype_bytes(DType t) {
+  switch (t) {
+    case DType::kFloat32:
+    case DType::kInt32:
+      return 4;
+    case DType::kInt8:
+    case DType::kUInt8:
+      return 1;
+  }
+  return 0;
+}
+
+/// Human-readable name, e.g. "float32".
+constexpr std::string_view dtype_name(DType t) {
+  switch (t) {
+    case DType::kFloat32:
+      return "float32";
+    case DType::kInt32:
+      return "int32";
+    case DType::kInt8:
+      return "int8";
+    case DType::kUInt8:
+      return "uint8";
+  }
+  return "unknown";
+}
+
+/// Name used when emitting OpenCL C source for this type.
+constexpr std::string_view dtype_opencl_name(DType t) {
+  switch (t) {
+    case DType::kFloat32:
+      return "float";
+    case DType::kInt32:
+      return "int";
+    case DType::kInt8:
+      return "char";
+    case DType::kUInt8:
+      return "uchar";
+  }
+  return "unknown";
+}
+
+/// Name used when emitting CUDA C source for this type.
+constexpr std::string_view dtype_cuda_name(DType t) {
+  switch (t) {
+    case DType::kFloat32:
+      return "float";
+    case DType::kInt32:
+      return "int";
+    case DType::kInt8:
+      return "signed char";
+    case DType::kUInt8:
+      return "unsigned char";
+  }
+  return "unknown";
+}
+
+}  // namespace igc

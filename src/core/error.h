@@ -1,0 +1,64 @@
+// Error handling primitives for igc.
+//
+// All invariant violations and user errors raise igc::Error, carrying the
+// source location and a formatted message. Hot inner loops use IGC_DCHECK,
+// which compiles away in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace igc {
+
+/// Exception type thrown by all IGC_CHECK failures and API misuse.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+/// Stream-style message builder whose destructor-free `fail` throws.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* cond) {
+    os_ << file << ":" << line << " Check failed: " << cond << " ";
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  [[noreturn]] void fail() const { throw Error(os_.str()); }
+
+ private:
+  std::ostringstream os_;
+};
+
+/// Helper that turns the streaming expression into a [[noreturn]] throw.
+struct CheckFailThrower {
+  [[noreturn]] void operator&(const CheckFailStream& s) { s.fail(); }
+};
+
+}  // namespace detail
+}  // namespace igc
+
+#define IGC_CHECK(cond)                                               \
+  if (cond) {                                                         \
+  } else /* NOLINT */                                                 \
+    ::igc::detail::CheckFailThrower{} &                               \
+        ::igc::detail::CheckFailStream(__FILE__, __LINE__, #cond)
+
+#define IGC_CHECK_EQ(a, b) IGC_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define IGC_CHECK_NE(a, b) IGC_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define IGC_CHECK_LT(a, b) IGC_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define IGC_CHECK_LE(a, b) IGC_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define IGC_CHECK_GT(a, b) IGC_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define IGC_CHECK_GE(a, b) IGC_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define IGC_DCHECK(cond) IGC_CHECK(true)
+#else
+#define IGC_DCHECK(cond) IGC_CHECK(cond)
+#endif

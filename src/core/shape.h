@@ -1,0 +1,67 @@
+// Tensor shapes: a small, value-semantic vector of extents with the usual
+// volume / stride helpers used across the stack.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+
+namespace igc {
+
+/// An immutable-by-convention list of dimension extents.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) { validate(); }
+
+  int ndim() const { return static_cast<int>(dims_.size()); }
+  int64_t operator[](int i) const {
+    IGC_CHECK_GE(i, 0);
+    IGC_CHECK_LT(i, ndim());
+    return dims_[static_cast<size_t>(i)];
+  }
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// Total number of elements (1 for a rank-0 shape).
+  int64_t numel() const {
+    int64_t n = 1;
+    for (int64_t d : dims_) n *= d;
+    return n;
+  }
+
+  /// Row-major strides, in elements.
+  std::vector<int64_t> strides() const {
+    std::vector<int64_t> s(dims_.size(), 1);
+    for (int i = static_cast<int>(dims_.size()) - 2; i >= 0; --i) {
+      s[static_cast<size_t>(i)] =
+          s[static_cast<size_t>(i) + 1] * dims_[static_cast<size_t>(i) + 1];
+    }
+    return s;
+  }
+
+  bool operator==(const Shape& o) const { return dims_ == o.dims_; }
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+
+  std::string str() const {
+    std::string s = "(";
+    for (size_t i = 0; i < dims_.size(); ++i) {
+      if (i) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    s += ")";
+    return s;
+  }
+
+ private:
+  void validate() const {
+    for (int64_t d : dims_) IGC_CHECK_GE(d, 0) << "negative dim in shape " << str();
+  }
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace igc

@@ -1,0 +1,53 @@
+// A small fixed-size thread pool with a blocking parallel_for.
+//
+// The GPU simulator uses this to execute work-groups concurrently on the
+// host. The pool is shared process-wide (see ThreadPool::global()) so nested
+// operators do not oversubscribe the machine.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace igc {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (defaults to hardware
+  /// concurrency, minimum 1).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(i) for i in [0, n), distributing contiguous chunks over the
+  /// workers, and blocks until all iterations complete. Exceptions thrown by
+  /// fn propagate to the caller (first one wins).
+  void parallel_for(int64_t n, const std::function<void(int64_t)>& fn);
+
+  /// Process-wide shared pool.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+  void submit(std::function<void()> fn);
+
+  std::vector<std::thread> workers_;
+  std::deque<Task> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace igc

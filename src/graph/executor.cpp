@@ -1,0 +1,704 @@
+#include "graph/executor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "ops/nn/conv2d.h"
+#include "ops/nn/nn_ops.h"
+#include "ops/vision/nms.h"
+#include "ops/vision/roi_align.h"
+#include "ops/vision/yolo.h"
+#include "sim/simulator.h"
+#include "sim/timing_model.h"
+#include "tune/conv_tuner.h"
+
+namespace igc::graph {
+namespace {
+
+/// Tracks one node's runtime value: the tensor (always shape-correct) and
+/// whether its contents are real numerics or placeholder zeros.
+struct Value {
+  Tensor tensor;
+  bool materialized = false;
+};
+
+/// Synthetic detection-head tensors for shapes-only execution. Scores follow
+/// an edge-realistic distribution: the background class dominates almost
+/// every anchor, with a small fraction of genuine detections, so NMS does a
+/// production-like amount of work (a few hundred to ~1k candidates).
+///
+/// The head layout is (B, A*C, H, W): channel ch belongs to class ch % C,
+/// class 0 = background.
+Tensor synthesize_ssd_cls(const Shape& shape, int64_t num_classes, Rng& rng) {
+  Tensor t(shape, DType::kFloat32);
+  const int64_t b = shape[0];
+  const int64_t channels = shape[1];
+  const int64_t hw = shape.numel() / (b * channels);
+  float* p = t.data_f32();
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t ch = 0; ch < channels; ++ch) {
+      const int64_t cls = ch % num_classes;
+      for (int64_t i = 0; i < hw; ++i) {
+        float v;
+        if (cls == 0) {
+          v = 6.0f;  // strong background logit
+        } else if (rng.next_double() < 0.002) {
+          v = rng.next_float(2.0f, 7.0f);  // a genuine detection
+        } else {
+          v = rng.next_float(-6.0f, -2.0f);
+        }
+        p[(bi * channels + ch) * hw + i] = v;
+      }
+    }
+  }
+  return t;
+}
+
+Tensor synthesize_yolo_head(const Shape& shape, Rng& rng) {
+  // Objectness logits mostly strongly negative; decode sees ~1% positives.
+  Tensor t(shape, DType::kFloat32);
+  for (float& v : t.span_f32()) {
+    v = rng.next_double() < 0.01 ? rng.next_float(0.0f, 2.0f)
+                                 : rng.next_float(-8.0f, -4.0f);
+  }
+  return t;
+}
+
+Tensor synthesize_nms_input(const Shape& shape, Rng& rng) {
+  Tensor t = Tensor::full(shape, -1.0f);
+  const int64_t n = shape[0] * shape[1];
+  float* p = t.data_f32();
+  for (int64_t i = 0; i < n; ++i) {
+    if (rng.next_double() >= 0.02) continue;
+    const float x1 = rng.next_float(0.0f, 0.8f);
+    const float y1 = rng.next_float(0.0f, 0.8f);
+    p[i * 6 + 0] = static_cast<float>(rng.next_int(0, 19));
+    p[i * 6 + 1] = rng.next_float(0.05f, 1.0f);
+    p[i * 6 + 2] = x1;
+    p[i * 6 + 3] = y1;
+    p[i * 6 + 4] = x1 + rng.next_float(0.02f, 0.2f);
+    p[i * 6 + 5] = y1 + rng.next_float(0.02f, 0.2f);
+  }
+  return t;
+}
+
+class ExecutorImpl {
+ public:
+  ExecutorImpl(const Graph& g, const sim::Platform& platform,
+               const ExecOptions& opts, Rng& rng)
+      : g_(g), platform_(platform), opts_(opts), rng_(rng),
+        gpu_(platform.gpu, clock_) {}
+
+  ExecResult run() {
+    g_.validate();
+    values_.resize(static_cast<size_t>(g_.num_nodes()));
+    layout_block_.assign(static_cast<size_t>(g_.num_nodes()), 1);
+    compute_liveness();
+
+    // Reference counts for eager buffer release (the runtime analogue of the
+    // memory planner): a node's tensor is dropped after its last consumer.
+    std::vector<int> pending(static_cast<size_t>(g_.num_nodes()), 0);
+    for (const Node& n : g_.nodes()) {
+      if (!live_[static_cast<size_t>(n.id)]) continue;
+      for (int in : n.inputs) ++pending[static_cast<size_t>(in)];
+    }
+
+    ExecResult result;
+    for (const Node& n : g_.nodes()) {
+      if (!live_[static_cast<size_t>(n.id)]) continue;
+      const double before = clock_.total_ms();
+      exec_node(n);
+      const double delta = clock_.total_ms() - before;
+      attribute(n.kind, delta, result);
+      for (int in : n.inputs) {
+        if (--pending[static_cast<size_t>(in)] == 0 && in != g_.output()) {
+          val(in).tensor = Tensor();  // release buffer early
+        }
+      }
+    }
+    result.output = values_[static_cast<size_t>(g_.output())].tensor;
+    result.latency_ms = clock_.total_ms();
+    result.events = clock_.events();
+    return result;
+  }
+
+ private:
+  void compute_liveness() {
+    live_.assign(static_cast<size_t>(g_.num_nodes()), false);
+    live_[static_cast<size_t>(g_.output())] = true;
+    for (int id = g_.num_nodes() - 1; id >= 0; --id) {
+      if (!live_[static_cast<size_t>(id)]) continue;
+      for (int in : g_.node(id).inputs) live_[static_cast<size_t>(in)] = true;
+    }
+  }
+
+  static void attribute(OpKind kind, double ms, ExecResult& r) {
+    switch (kind) {
+      case OpKind::kConv2d:
+        r.conv_ms += ms;
+        break;
+      case OpKind::kMultiboxDetection:
+      case OpKind::kSsdDetection:
+      case OpKind::kYoloDecode:
+      case OpKind::kBoxNms:
+      case OpKind::kRoiAlign:
+      case OpKind::kDetectionConcat:
+        r.vision_ms += ms;
+        break;
+      case OpKind::kDeviceCopy:
+        r.copy_ms += ms;
+        break;
+      default:
+        r.other_ms += ms;
+        break;
+    }
+  }
+
+  Value& val(int id) { return values_[static_cast<size_t>(id)]; }
+
+  const Tensor& in_tensor(const Node& n, size_t i = 0) {
+    return val(n.inputs[i]).tensor;
+  }
+  bool in_materialized(const Node& n) {
+    for (int in : n.inputs) {
+      if (!val(in).materialized) return false;
+    }
+    return !n.inputs.empty();
+  }
+
+  /// Charges one elementwise GPU kernel (or the CPU equivalent).
+  void charge_elementwise(const Node& n, int64_t numel, int inputs_per_elem,
+                          int64_t flops_per_elem) {
+    if (n.place == Place::kCpu) {
+      clock_.charge_fixed(
+          sim::cpu_latency_ms(platform_.cpu, numel * flops_per_elem,
+                              4 * numel * (inputs_per_elem + 1), 0.9),
+          n.name);
+    } else {
+      clock_.charge(platform_.gpu,
+                    ops::elementwise_kernel_cost(n.name, numel, inputs_per_elem,
+                                                 flops_per_elem));
+    }
+  }
+
+  /// Charges a layout transform on an edge whose producer layout block
+  /// differs from what this node requires.
+  void charge_layout_edges(const Node& n, int required_block) {
+    for (int in : n.inputs) {
+      const int have = layout_block_[static_cast<size_t>(in)];
+      if (have == required_block) continue;
+      const int64_t numel = g_.node(in).out_shape.numel();
+      sim::KernelLaunch k;
+      k.name = "layout_transform_" + g_.node(in).name;
+      k.flops = numel;
+      k.dram_read_bytes = 4 * numel;
+      k.dram_write_bytes = 4 * numel;
+      k.work_items = numel;
+      k.work_group_size = 64;
+      k.compute_efficiency = 0.6;
+      clock_.charge(platform_.gpu, k);
+    }
+  }
+
+  /// Layout a node's output carries forward.
+  int propagate_layout(const Node& n, int own_block) {
+    switch (n.kind) {
+      case OpKind::kConv2d:
+        return own_block;
+      case OpKind::kActivation:
+      case OpKind::kScaleShift:
+      case OpKind::kAdd:
+      case OpKind::kPool2d:
+      case OpKind::kUpsample2x:
+      case OpKind::kDeviceCopy:
+        return n.inputs.empty() ? 1 : layout_block_[static_cast<size_t>(n.inputs[0])];
+      default:
+        return 1;  // everything else requires/produces plain layout
+    }
+  }
+
+  void exec_node(const Node& n) {
+    switch (n.kind) {
+      case OpKind::kInput: {
+        Value& v = val(n.id);
+        v.tensor = Tensor::random_uniform(n.out_shape, rng_, 0.0f, 1.0f);
+        v.materialized = true;
+        layout_block_[static_cast<size_t>(n.id)] = 1;
+        return;
+      }
+      case OpKind::kConv2d:
+        exec_conv(n);
+        return;
+      case OpKind::kConv2dTranspose: {
+        charge_layout_edges(n, 1);
+        if (n.place == Place::kCpu) {
+          clock_.charge_fixed(
+              sim::cpu_latency_ms(platform_.cpu, n.deconv.flops(),
+                                  n.weight.nbytes(), 0.9),
+              n.name);
+        } else {
+          clock_.charge(platform_.gpu,
+                        ops::conv2d_transpose_kernel_cost(n.deconv,
+                                                          platform_.gpu));
+        }
+        finish_heavy(n, [&] {
+          Tensor t = ops::conv2d_transpose_reference(
+              in_tensor(n), n.weight, n.bias.defined() ? &n.bias : nullptr,
+              n.deconv);
+          if (n.fused_activation) {
+            t = ops::activation_reference(t, n.fused_act, n.fused_act_alpha);
+          }
+          return t;
+        });
+        return;
+      }
+      case OpKind::kScaleShift: {
+        charge_elementwise(n, n.out_shape.numel(), 1, 2);
+        finish_elementwise(n, [&] {
+          Tensor t = ops::scale_shift_reference(in_tensor(n), n.scale, n.shift);
+          return t;
+        });
+        return;
+      }
+      case OpKind::kActivation: {
+        charge_elementwise(n, n.out_shape.numel(), 1, 2);
+        finish_elementwise(n, [&] {
+          return ops::activation_reference(in_tensor(n), n.act, n.act_alpha);
+        });
+        return;
+      }
+      case OpKind::kAdd: {
+        charge_elementwise(n, n.out_shape.numel(), 2, 1);
+        finish_elementwise(n, [&] {
+          Tensor t = ops::add_reference(in_tensor(n, 0), in_tensor(n, 1));
+          if (n.fused_activation) {
+            t = ops::activation_reference(t, n.fused_act, n.fused_act_alpha);
+          }
+          return t;
+        });
+        return;
+      }
+      case OpKind::kConcat: {
+        charge_elementwise(n, n.out_shape.numel(), 1, 0);
+        finish_elementwise(n, [&] {
+          std::vector<Tensor> ins;
+          for (int in : n.inputs) ins.push_back(val(in).tensor);
+          return ops::concat_channels_reference(ins);
+        });
+        return;
+      }
+      case OpKind::kPool2d: {
+        const Shape& s = g_.node(n.inputs[0]).out_shape;
+        if (n.place == Place::kCpu) {
+          charge_elementwise(n, n.out_shape.numel(), 1,
+                             n.pool.kernel * n.pool.kernel);
+        } else {
+          clock_.charge(platform_.gpu, ops::pool2d_kernel_cost(s, n.pool));
+        }
+        finish_elementwise(n, [&] { return ops::pool2d_reference(in_tensor(n), n.pool); });
+        return;
+      }
+      case OpKind::kGlobalAvgPool: {
+        charge_elementwise(n, g_.node(n.inputs[0]).out_shape.numel(), 1, 1);
+        finish_elementwise(n,
+                           [&] { return ops::global_avg_pool_reference(in_tensor(n)); });
+        return;
+      }
+      case OpKind::kDense: {
+        charge_layout_edges(n, 1);
+        if (n.place == Place::kCpu) {
+          clock_.charge_fixed(sim::cpu_latency_ms(platform_.cpu, n.dense.flops(),
+                                                  n.weight.nbytes(), 0.9),
+                              n.name);
+        } else {
+          clock_.charge(platform_.gpu,
+                        ops::dense_kernel_cost(n.dense, platform_.gpu));
+        }
+        finish_heavy(n, [&] {
+          Tensor t = ops::dense_reference(in_tensor(n), n.weight,
+                                          n.bias.defined() ? &n.bias : nullptr,
+                                          n.dense);
+          if (n.fused_activation) {
+            t = ops::activation_reference(t, n.fused_act, n.fused_act_alpha);
+          }
+          return t;
+        });
+        return;
+      }
+      case OpKind::kFlatten: {
+        charge_layout_edges(n, 1);
+        // A view: no kernel.
+        Value& v = val(n.id);
+        v.tensor = val(n.inputs[0]).tensor.reshape(n.out_shape);
+        v.materialized = val(n.inputs[0]).materialized;
+        layout_block_[static_cast<size_t>(n.id)] = 1;
+        return;
+      }
+      case OpKind::kSoftmax: {
+        charge_layout_edges(n, 1);
+        charge_elementwise(n, n.out_shape.numel(), 1, 4);
+        finish_elementwise(n, [&] { return ops::softmax_reference(in_tensor(n)); });
+        return;
+      }
+      case OpKind::kUpsample2x: {
+        charge_elementwise(n, n.out_shape.numel(), 1, 0);
+        finish_elementwise(n, [&] { return ops::upsample2x_reference(in_tensor(n)); });
+        return;
+      }
+      case OpKind::kDeviceCopy: {
+        const int64_t bytes = n.out_shape.numel() * 4;
+        clock_.charge_copy(platform_.gpu, bytes, n.name);
+        Value& v = val(n.id);
+        v.tensor = val(n.inputs[0]).tensor;
+        v.materialized = val(n.inputs[0]).materialized;
+        layout_block_[static_cast<size_t>(n.id)] =
+            layout_block_[static_cast<size_t>(n.inputs[0])];
+        return;
+      }
+      case OpKind::kMultiboxDetection:
+        exec_multibox(n);
+        return;
+      case OpKind::kSsdDetection:
+        exec_ssd_detection(n);
+        return;
+      case OpKind::kYoloDecode: {
+        charge_layout_edges(n, 1);
+        Tensor head = val(n.inputs[0]).materialized
+                          ? in_tensor(n)
+                          : synthesize_yolo_head(g_.node(n.inputs[0]).out_shape,
+                                                 rng_);
+        Value& v = val(n.id);
+        if (n.place == Place::kCpu) {
+          v.tensor = ops::yolo_decode_reference(head, n.yolo);
+          clock_.charge_fixed(
+              sim::cpu_latency_ms(platform_.cpu,
+                                  head.numel() * 8, head.nbytes(), 0.9),
+              n.name);
+        } else {
+          v.tensor = ops::yolo_decode_gpu(gpu_, head, n.yolo);
+        }
+        v.materialized = true;
+        return;
+      }
+      case OpKind::kDetectionConcat: {
+        charge_elementwise(n, n.out_shape.numel(), 1, 0);
+        Value& v = val(n.id);
+        v.tensor = Tensor(n.out_shape, DType::kFloat32);
+        int64_t off = 0;
+        const int64_t bsz = n.out_shape[0];
+        const int64_t total = n.out_shape[1];
+        for (int in : n.inputs) {
+          const Tensor& t = val(in).materialized
+                                ? val(in).tensor
+                                : synthesize_nms_input(g_.node(in).out_shape, rng_);
+          const int64_t ni = t.shape()[1];
+          for (int64_t b = 0; b < bsz; ++b) {
+            std::copy(t.data_f32() + b * ni * 6, t.data_f32() + (b + 1) * ni * 6,
+                      v.tensor.data_f32() + (b * total + off) * 6);
+          }
+          off += ni;
+        }
+        v.materialized = true;
+        return;
+      }
+      case OpKind::kBoxNms:
+        exec_box_nms(n);
+        return;
+      case OpKind::kRoiAlign: {
+        charge_layout_edges(n, 1);
+        const bool have = in_materialized(n);
+        Tensor feats = have ? in_tensor(n, 0)
+                            : Tensor::zeros(g_.node(n.inputs[0]).out_shape);
+        Tensor rois = in_tensor(n, 1);
+        if (!val(n.inputs[1]).materialized) {
+          // Synthesize plausible proposals inside the feature map.
+          const Shape& fs = g_.node(n.inputs[0]).out_shape;
+          rois = Tensor(g_.node(n.inputs[1]).out_shape, DType::kFloat32);
+          for (int64_t r = 0; r < rois.shape()[0]; ++r) {
+            float* row = rois.data_f32() + r * 5;
+            row[0] = static_cast<float>(rng_.next_int(0, fs[0] - 1));
+            const float x1 = rng_.next_float(0.0f, static_cast<float>(fs[3]) * 0.6f);
+            const float y1 = rng_.next_float(0.0f, static_cast<float>(fs[2]) * 0.6f);
+            row[1] = x1;
+            row[2] = y1;
+            row[3] = x1 + rng_.next_float(2.0f, static_cast<float>(fs[3]) * 0.4f);
+            row[4] = y1 + rng_.next_float(2.0f, static_cast<float>(fs[2]) * 0.4f);
+          }
+        }
+        Value& v = val(n.id);
+        if (n.place == Place::kCpu) {
+          v.tensor = ops::roi_align_reference(feats, rois, n.roi);
+          clock_.charge_fixed(
+              sim::cpu_latency_ms(platform_.cpu, n.out_shape.numel() * 40,
+                                  feats.nbytes(), 0.9),
+              n.name);
+        } else {
+          v.tensor = ops::roi_align_gpu(gpu_, feats, rois, n.roi);
+        }
+        v.materialized = true;
+        return;
+      }
+    }
+    IGC_CHECK(false) << "unhandled op " << op_kind_name(n.kind);
+  }
+
+  // Elementwise helpers: numerics only when inputs are materialized.
+  template <typename Fn>
+  void finish_elementwise(const Node& n, Fn&& compute) {
+    Value& v = val(n.id);
+    if (opts_.compute_numerics && in_materialized(n)) {
+      v.tensor = compute();
+      v.materialized = true;
+    } else {
+      v.tensor = Tensor::zeros(n.out_shape);
+      v.materialized = false;
+    }
+    IGC_CHECK(v.tensor.shape() == n.out_shape)
+        << n.name << ": " << v.tensor.shape().str();
+    layout_block_[static_cast<size_t>(n.id)] = propagate_layout(n, 1);
+  }
+
+  template <typename Fn>
+  void finish_heavy(const Node& n, Fn&& compute) {
+    finish_elementwise(n, std::forward<Fn>(compute));
+  }
+
+  void exec_conv(const Node& n) {
+    const int block = [&] {
+      auto it = opts_.conv_layout_block.find(n.id);
+      return it == opts_.conv_layout_block.end() ? 1 : it->second;
+    }();
+    charge_layout_edges(n, block);
+    const tune::ScheduleConfig cfg =
+        opts_.use_tuned_configs
+            ? tune::lookup_or_default(n.conv, platform_.gpu, block, opts_.db)
+            : [&] {
+                // Untuned: the stock hand-written template (Table 5 Before).
+                auto c = ops::conv2d_manual_schedule(n.conv, platform_.gpu);
+                c.set("layout_block", block);
+                return c;
+              }();
+    if (n.place == Place::kCpu) {
+      clock_.charge_fixed(sim::cpu_latency_ms(platform_.cpu, n.conv.flops(),
+                                              n.conv.min_bytes(), 0.9),
+                          n.name);
+    } else {
+      sim::KernelLaunch k = ops::conv2d_kernel_cost(n.conv, cfg, platform_.gpu);
+      if (n.fused_scale_shift) k.flops += 2 * n.out_shape.numel();
+      if (n.fused_activation) k.flops += n.out_shape.numel();
+      clock_.charge(platform_.gpu, k);
+    }
+    Value& v = val(n.id);
+    if (opts_.compute_numerics && in_materialized(n)) {
+      Tensor t = ops::conv2d_reference(
+          in_tensor(n), n.weight, n.bias.defined() ? &n.bias : nullptr, n.conv);
+      if (n.fused_scale_shift) {
+        t = ops::scale_shift_reference(t, n.fused_scale, n.fused_shift);
+      }
+      if (n.fused_activation) {
+        t = ops::activation_reference(t, n.fused_act, n.fused_act_alpha);
+      }
+      v.tensor = std::move(t);
+      v.materialized = true;
+    } else {
+      v.tensor = Tensor::zeros(n.out_shape);
+      v.materialized = false;
+    }
+    layout_block_[static_cast<size_t>(n.id)] = block;
+  }
+
+  /// Shared tail of every multibox path: NMS over the decoded candidates on
+  /// the placed device, with the matching cost.
+  Tensor run_nms_stage(const Node& n, const Tensor& decoded,
+                       const ops::NmsParams& nms) {
+    if (n.place == Place::kCpu) {
+      int64_t evals = 0;
+      Tensor out = ops::box_nms_reference_counted(decoded, nms, &evals);
+      const int64_t count = decoded.shape()[0] * decoded.shape()[1];
+      const int64_t sort_flops = static_cast<int64_t>(
+          static_cast<double>(count) *
+          std::log2(static_cast<double>(count) + 2.0) * 4.0);
+      clock_.charge_fixed(
+          sim::cpu_latency_ms(platform_.cpu, evals * 16 + sort_flops,
+                              decoded.nbytes() * 2, 0.3),
+          n.name + "_nms_cpu");
+      return out;
+    }
+    if (opts_.optimized_vision_ops) {
+      return ops::box_nms_gpu(gpu_, decoded, nms);
+    }
+    return ops::box_nms_gpu_naive(gpu_, decoded, nms);
+  }
+
+  void exec_multibox(const Node& n) {
+    charge_layout_edges(n, 1);
+    const bool have = in_materialized(n);
+    // The (B, C, N) class-probability tensor: dim 1 is the class axis
+    // (class 0 = background). Synthesize realistic probabilities directly.
+    Tensor cls = in_tensor(n, 0);
+    if (!have) {
+      const Shape& cs = g_.node(n.inputs[0]).out_shape;
+      cls = Tensor(cs, DType::kFloat32);
+      const int64_t nc = cs[1];
+      const int64_t na = cs[2];
+      for (int64_t b = 0; b < cs[0]; ++b) {
+        for (int64_t c = 0; c < nc; ++c) {
+          for (int64_t i = 0; i < na; ++i) {
+            float v = c == 0 ? 0.95f : 0.002f;
+            if (c != 0 && rng_.next_double() < 0.002) {
+              v = rng_.next_float(0.2f, 0.9f);
+            }
+            cls.data_f32()[(b * nc + c) * na + i] = v;
+          }
+        }
+      }
+    }
+    Tensor loc = have ? in_tensor(n, 1)
+                      : Tensor::random_normal(g_.node(n.inputs[1]).out_shape,
+                                              rng_, 0.3f);
+    // Decode stage.
+    const Tensor decoded =
+        ops::multibox_decode_reference(cls, loc, n.anchors, n.mbox);
+    if (n.place == Place::kCpu) {
+      clock_.charge_fixed(
+          sim::cpu_latency_ms(platform_.cpu, cls.numel() * 4,
+                              cls.nbytes() + loc.nbytes(), 0.8),
+          n.name + "_decode_cpu");
+    } else {
+      gpu_.launch_elementwise("multibox_decode",
+                              cls.shape()[0] * n.anchors.shape()[0],
+                              [](int64_t) {}, 2 * cls.shape()[1] + 20,
+                              4 * (cls.shape()[1] + 8));
+    }
+    Value& v = val(n.id);
+    v.tensor = run_nms_stage(n, decoded, n.mbox.nms);
+    v.materialized = true;
+  }
+
+  void exec_ssd_detection(const Node& n) {
+    charge_layout_edges(n, 1);
+    const int64_t c1 = n.ssd_num_classes;
+    const int64_t total = n.out_shape[1];
+    const int64_t bsz = n.out_shape[0];
+
+    // Assemble (B, C, N) class probabilities (softmax over classes) and
+    // (B, N*4) localization deltas from the per-scale head tensors.
+    Tensor cls_prob = Tensor::zeros(Shape{bsz, c1, total});
+    Tensor loc_pred = Tensor::zeros(Shape{bsz, total * 4});
+    int64_t anchor_off = 0;
+    for (size_t h = 0; h + 1 < n.inputs.size(); h += 2) {
+      const int cls_id = n.inputs[h];
+      const int loc_id = n.inputs[h + 1];
+      const Shape& cs = g_.node(cls_id).out_shape;
+      const int64_t a = cs[1] / c1;
+      const int64_t gh = cs[2];
+      const int64_t gw = cs[3];
+      const Tensor cls_t = val(cls_id).materialized
+                               ? val(cls_id).tensor
+                               : synthesize_ssd_cls(cs, c1, rng_);
+      const Tensor loc_t =
+          val(loc_id).materialized
+              ? val(loc_id).tensor
+              : Tensor::random_normal(g_.node(loc_id).out_shape, rng_, 0.3f);
+      const float* cp = cls_t.data_f32();
+      const float* lp = loc_t.data_f32();
+      for (int64_t b = 0; b < bsz; ++b) {
+        for (int64_t y = 0; y < gh; ++y) {
+          for (int64_t x = 0; x < gw; ++x) {
+            for (int64_t ai = 0; ai < a; ++ai) {
+              const int64_t anchor = anchor_off + ((y * gw + x) * a + ai);
+              // Softmax over the c1 class logits of this anchor.
+              float maxv = -1e30f;
+              for (int64_t c = 0; c < c1; ++c) {
+                maxv = std::max(maxv,
+                                cp[((b * a * c1 + ai * c1 + c) * gh + y) * gw + x]);
+              }
+              double sum = 0.0;
+              for (int64_t c = 0; c < c1; ++c) {
+                sum += std::exp(
+                    cp[((b * a * c1 + ai * c1 + c) * gh + y) * gw + x] - maxv);
+              }
+              for (int64_t c = 0; c < c1; ++c) {
+                const float e = std::exp(
+                    cp[((b * a * c1 + ai * c1 + c) * gh + y) * gw + x] - maxv);
+                cls_prob.data_f32()[(b * c1 + c) * total + anchor] =
+                    static_cast<float>(e / sum);
+              }
+              for (int64_t d = 0; d < 4; ++d) {
+                loc_pred.data_f32()[b * total * 4 + anchor * 4 + d] =
+                    lp[((b * a * 4 + ai * 4 + d) * gh + y) * gw + x];
+              }
+            }
+          }
+        }
+      }
+      anchor_off += a * gh * gw;
+    }
+    IGC_CHECK_EQ(anchor_off, total);
+
+    // Charge the assembly + per-anchor softmax as one elementwise kernel.
+    charge_elementwise(n, bsz * total * c1, 1, 6);
+
+    // Decode stage.
+    const Tensor decoded =
+        ops::multibox_decode_reference(cls_prob, loc_pred, n.anchors, n.mbox);
+    if (n.place == Place::kCpu) {
+      clock_.charge_fixed(
+          sim::cpu_latency_ms(platform_.cpu, cls_prob.numel() * 4,
+                              cls_prob.nbytes() + loc_pred.nbytes(), 0.8),
+          n.name + "_decode_cpu");
+    } else {
+      gpu_.launch_elementwise("ssd_decode", bsz * total, [](int64_t) {},
+                              2 * c1 + 20, 4 * (c1 + 8));
+    }
+    Value& v = val(n.id);
+    v.tensor = run_nms_stage(n, decoded, n.mbox.nms);
+    v.materialized = true;
+  }
+
+  void exec_box_nms(const Node& n) {
+    charge_layout_edges(n, 1);
+    Tensor in = val(n.inputs[0]).materialized
+                    ? in_tensor(n)
+                    : synthesize_nms_input(g_.node(n.inputs[0]).out_shape, rng_);
+    Value& v = val(n.id);
+    if (n.place == Place::kCpu) {
+      int64_t evals = 0;
+      v.tensor = ops::box_nms_reference_counted(in, n.nms, &evals);
+      const int64_t count = in.shape()[0] * in.shape()[1];
+      clock_.charge_fixed(
+          sim::cpu_latency_ms(
+              platform_.cpu,
+              evals * 16 +
+                  static_cast<int64_t>(static_cast<double>(count) *
+                                       std::log2(static_cast<double>(count) + 2.0) * 4.0),
+              in.nbytes() * 2, 0.3),
+          n.name);
+    } else if (opts_.optimized_vision_ops) {
+      v.tensor = ops::box_nms_gpu(gpu_, in, n.nms);
+    } else {
+      v.tensor = ops::box_nms_gpu_naive(gpu_, in, n.nms);
+    }
+    v.materialized = true;
+  }
+
+  const Graph& g_;
+  const sim::Platform& platform_;
+  const ExecOptions& opts_;
+  Rng& rng_;
+  sim::SimClock clock_;
+  sim::GpuSimulator gpu_;
+  std::vector<Value> values_;
+  std::vector<bool> live_;
+  std::vector<int> layout_block_;
+};
+
+}  // namespace
+
+ExecResult execute(const Graph& g, const sim::Platform& platform,
+                   const ExecOptions& opts, Rng& input_rng) {
+  return ExecutorImpl(g, platform, opts, input_rng).run();
+}
+
+}  // namespace igc::graph

@@ -1,0 +1,56 @@
+// The heterogeneous graph executor.
+//
+// Walks an optimized graph in topological order, runs every node on its
+// placed device (the simulated integrated GPU, or the companion CPU for
+// fallback ops), charges the simulated clock, and — in numerics mode —
+// produces real output tensors validated against reference pipelines.
+//
+// Two execution modes:
+//   * numerics on  — every operator computes its real output (tests,
+//     examples, small inputs);
+//   * numerics off — compute-heavy tensor ops propagate shapes only while
+//     still charging their cost; vision ops always run functionally, on
+//     synthetic-but-realistic detection inputs from the workload generator,
+//     because their cost depends on the data distribution. This mode makes
+//     full-size model benchmarks (SSD at 512x512) cheap on the host.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "core/rng.h"
+#include "graph/graph.h"
+#include "sim/clock.h"
+#include "sim/device_spec.h"
+#include "tune/tunedb.h"
+
+namespace igc::graph {
+
+struct ExecOptions {
+  bool compute_numerics = true;
+  /// Sec. 3.1 optimizations on vision ops; off = Table 4 "Before".
+  bool optimized_vision_ops = true;
+  /// Use tuned schedules from `db` for conv2d; off = Table 5 "Before".
+  bool use_tuned_configs = true;
+  const tune::TuneDb* db = nullptr;
+  /// Graph-tuner layout choice per conv node id (block size, 1 = NCHW).
+  std::map<int, int> conv_layout_block;
+};
+
+struct ExecResult {
+  Tensor output;
+  double latency_ms = 0.0;
+  /// Per-category breakdown (conv / vision / copies / everything else).
+  double conv_ms = 0.0;
+  double vision_ms = 0.0;
+  double copy_ms = 0.0;
+  double other_ms = 0.0;
+  std::vector<sim::ClockEvent> events;
+};
+
+/// Executes `g` on `platform`. `input_rng` seeds the synthetic model input
+/// (and, in shapes-only mode, the synthetic detection tensors).
+ExecResult execute(const Graph& g, const sim::Platform& platform,
+                   const ExecOptions& opts, Rng& input_rng);
+
+}  // namespace igc::graph

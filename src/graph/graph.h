@@ -1,0 +1,168 @@
+// The computational graph (Fig. 1: "Computational Graph" /
+// "Optimized Computational Graph").
+//
+// A Graph is a topologically ordered list of nodes. Model builders
+// (src/models) construct graphs through the typed helper methods; the passes
+// in src/graph/passes.h rewrite them; the executor in src/graph/executor.h
+// runs them against a simulated platform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ops/nn/conv2d.h"
+#include "ops/nn/conv2d_transpose.h"
+#include "ops/nn/nn_ops.h"
+#include "ops/vision/nms.h"
+#include "ops/vision/roi_align.h"
+#include "ops/vision/yolo.h"
+#include "tensor/layout.h"
+#include "tensor/tensor.h"
+
+namespace igc::graph {
+
+enum class OpKind {
+  kInput,
+  kConv2d,
+  kConv2dTranspose,
+  kScaleShift,  // folded batch norm
+  kActivation,
+  kAdd,
+  kConcat,
+  kPool2d,
+  kGlobalAvgPool,
+  kDense,
+  kFlatten,
+  kSoftmax,
+  kUpsample2x,
+  kMultiboxDetection,
+  kSsdDetection,  // fused multi-scale softmax + decode + NMS (SSD head)
+  kYoloDecode,
+  kDetectionConcat,  // concat (B, N_i, 6) candidate lists along N
+  kBoxNms,
+  kRoiAlign,  // bilinear region pooling over proposal boxes
+  kDeviceCopy,
+};
+
+std::string_view op_kind_name(OpKind k);
+
+/// Where a node executes after placement (Sec. 3.1.2).
+enum class Place { kUnassigned, kGpu, kCpu };
+
+struct Node {
+  int id = -1;
+  std::string name;
+  OpKind kind = OpKind::kInput;
+  std::vector<int> inputs;
+  Shape out_shape;
+  Place place = Place::kUnassigned;
+
+  // Operator parameters (used according to `kind`).
+  ops::Conv2dParams conv;
+  ops::Conv2dTransposeParams deconv;
+  ops::DenseParams dense;
+  ops::Pool2dParams pool;
+  ops::Activation act = ops::Activation::kRelu;
+  float act_alpha = 0.1f;
+  ops::MultiboxDetectionParams mbox;
+  ops::YoloDecodeParams yolo;
+  ops::NmsParams nms;
+  ops::RoiAlignParams roi;
+
+  // Bound parameter tensors.
+  Tensor weight;   // conv / dense
+  Tensor bias;     // conv / dense (may be undefined)
+  Tensor scale;    // scale-shift
+  Tensor shift;    // scale-shift
+  Tensor anchors;  // multibox detection (pre-computed priors)
+  /// SSD fused head: number of classes including background.
+  int64_t ssd_num_classes = 0;
+
+  // Fusion epilogues applied by the executor after the main op
+  // (conv+bn+relu fusion, Sec. 3.2.3 "operator fusion").
+  bool fused_scale_shift = false;
+  Tensor fused_scale, fused_shift;
+  bool fused_activation = false;
+  ops::Activation fused_act = ops::Activation::kRelu;
+  float fused_act_alpha = 0.1f;
+
+  bool is_conv() const { return kind == OpKind::kConv2d; }
+};
+
+class Graph {
+ public:
+  /// Node construction (returns the new node id). Inputs must already exist,
+  /// preserving topological order by construction.
+  int add_input(const std::string& name, Shape shape);
+  int add_conv2d(const std::string& name, int input, ops::Conv2dParams p,
+                 Tensor weight, Tensor bias = {});
+  int add_conv2d_transpose(const std::string& name, int input,
+                           ops::Conv2dTransposeParams p, Tensor weight,
+                           Tensor bias = {});
+  int add_scale_shift(const std::string& name, int input, Tensor scale,
+                      Tensor shift);
+  int add_activation(const std::string& name, int input, ops::Activation act,
+                     float alpha = 0.1f);
+  int add_add(const std::string& name, int a, int b);
+  int add_concat(const std::string& name, const std::vector<int>& inputs);
+  int add_pool2d(const std::string& name, int input, ops::Pool2dParams p);
+  int add_global_avg_pool(const std::string& name, int input);
+  int add_dense(const std::string& name, int input, ops::DenseParams p,
+                Tensor weight, Tensor bias = {});
+  int add_flatten(const std::string& name, int input);
+  int add_softmax(const std::string& name, int input);
+  int add_upsample2x(const std::string& name, int input);
+  int add_multibox_detection(const std::string& name, int cls_prob,
+                             int loc_pred, Tensor anchors,
+                             ops::MultiboxDetectionParams p);
+  /// Fused SSD detection head over multiple scales. `heads` holds
+  /// (cls_conv, loc_conv) node pairs: cls shape (B, A*(C), H, W) with C
+  /// classes including background, loc shape (B, A*4, H, W). `anchors` is
+  /// the concatenation of per-scale priors, one row per anchor, in
+  /// scale-major, cell-row-major, anchor-minor order.
+  int add_ssd_detection(const std::string& name,
+                        const std::vector<std::pair<int, int>>& heads,
+                        Tensor anchors, int64_t num_classes_incl_bg,
+                        ops::MultiboxDetectionParams p);
+  int add_yolo_decode(const std::string& name, int input,
+                      ops::YoloDecodeParams p);
+  int add_detection_concat(const std::string& name,
+                           const std::vector<int>& inputs);
+  int add_box_nms(const std::string& name, int input, ops::NmsParams p);
+  /// ROIAlign over `rois` (R, 5) rows [batch_idx, x1, y1, x2, y2] applied to
+  /// a feature map; output (R, C, pooled_h, pooled_w).
+  int add_roi_align(const std::string& name, int features, int rois,
+                    ops::RoiAlignParams p);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  Node& node(int id);
+  const Node& node(int id) const;
+  std::vector<Node>& nodes() { return nodes_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  void set_output(int id) { output_ = id; }
+  int output() const { return output_; }
+
+  /// Consumers of each node (recomputed on demand).
+  std::vector<std::vector<int>> consumers() const;
+
+  /// All conv nodes in topological order.
+  std::vector<int> conv_node_ids() const;
+
+  /// Total conv FLOPs (for reporting).
+  int64_t total_conv_flops() const;
+
+  /// Validates topological ordering and shape consistency of edges.
+  void validate() const;
+
+  /// Human-readable table of the (live) nodes: id, op, name, output shape,
+  /// placement — the `igc-compile --dump-graph` view.
+  std::string summary() const;
+
+ private:
+  int push(Node n);
+  std::vector<Node> nodes_;
+  int output_ = -1;
+};
+
+}  // namespace igc::graph

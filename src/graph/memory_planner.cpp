@@ -1,0 +1,79 @@
+#include "graph/memory_planner.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace igc::graph {
+
+MemoryPlan plan_memory(const Graph& g) {
+  const int n = g.num_nodes();
+  MemoryPlan plan;
+  plan.buffer_of_node.assign(static_cast<size_t>(n), -1);
+
+  // Dead nodes (bypassed by passes, unreachable from the output) get no
+  // buffer and do not count as consumers.
+  std::vector<bool> live(static_cast<size_t>(n), false);
+  live[static_cast<size_t>(g.output())] = true;
+  for (int id = n - 1; id >= 0; --id) {
+    if (!live[static_cast<size_t>(id)]) continue;
+    for (int in : g.node(id).inputs) live[static_cast<size_t>(in)] = true;
+  }
+
+  // Liveness: node output is live from its definition to its last (live)
+  // consumer; the graph output is live to the end.
+  std::vector<int> last_use(static_cast<size_t>(n), -1);
+  for (const Node& node : g.nodes()) {
+    if (!live[static_cast<size_t>(node.id)]) continue;
+    for (int in : node.inputs) {
+      last_use[static_cast<size_t>(in)] =
+          std::max(last_use[static_cast<size_t>(in)], node.id);
+    }
+  }
+  last_use[static_cast<size_t>(g.output())] = n;
+
+  struct FreeBuf {
+    int id;
+    int64_t bytes;
+  };
+  std::vector<FreeBuf> free_list;
+  // Buffers whose producing value dies at step i are returned after step i.
+  std::vector<std::vector<int>> expiring(static_cast<size_t>(n + 1));
+
+  for (const Node& node : g.nodes()) {
+    if (!live[static_cast<size_t>(node.id)]) continue;  // no buffer
+    const int64_t bytes = node.out_shape.numel() * 4;
+    plan.unshared_bytes += bytes;
+    // Best-fit reuse: smallest free buffer that fits.
+    int best = -1;
+    for (size_t i = 0; i < free_list.size(); ++i) {
+      if (free_list[i].bytes >= bytes &&
+          (best < 0 || free_list[i].bytes < free_list[static_cast<size_t>(best)].bytes)) {
+        best = static_cast<int>(i);
+      }
+    }
+    int buf_id;
+    if (best >= 0) {
+      buf_id = free_list[static_cast<size_t>(best)].id;
+      free_list.erase(free_list.begin() + best);
+    } else {
+      buf_id = static_cast<int>(plan.buffer_bytes.size());
+      plan.buffer_bytes.push_back(bytes);
+    }
+    plan.buffer_bytes[static_cast<size_t>(buf_id)] =
+        std::max(plan.buffer_bytes[static_cast<size_t>(buf_id)], bytes);
+    plan.buffer_of_node[static_cast<size_t>(node.id)] = buf_id;
+    const int death = last_use[static_cast<size_t>(node.id)];
+    if (death <= n) {
+      expiring[static_cast<size_t>(std::min(death, n))].push_back(buf_id);
+    }
+    // Return buffers freed by values that died at this step.
+    for (int freed : expiring[static_cast<size_t>(node.id)]) {
+      free_list.push_back(
+          {freed, plan.buffer_bytes[static_cast<size_t>(freed)]});
+    }
+  }
+  return plan;
+}
+
+}  // namespace igc::graph

@@ -1,0 +1,37 @@
+// Static memory planning for graph execution.
+//
+// Integrated GPUs share scarce DRAM with the CPU (the paper notes Acer
+// aiSage must shrink SSD inputs to 300x300 because of Mali memory limits),
+// so the runtime plans intermediate-buffer reuse ahead of time: each node's
+// output gets a buffer id, and buffers are recycled once the last consumer
+// has run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace igc::graph {
+
+struct MemoryPlan {
+  /// Buffer id assigned to each node's output (-1 for dead nodes).
+  std::vector<int> buffer_of_node;
+  /// Size in bytes of each buffer.
+  std::vector<int64_t> buffer_bytes;
+
+  int64_t total_bytes() const {
+    int64_t t = 0;
+    for (int64_t b : buffer_bytes) t += b;
+    return t;
+  }
+  /// Total bytes if every node had a private buffer (for reporting).
+  int64_t unshared_bytes = 0;
+};
+
+/// Greedy liveness-based buffer assignment: a node's output buffer is
+/// reusable after its last consumer executes. Weights/constants are not
+/// counted (they are resident for the model's lifetime).
+MemoryPlan plan_memory(const Graph& g);
+
+}  // namespace igc::graph

@@ -1,0 +1,44 @@
+// Graph-level optimization passes (Sec. 3.2.3 "general graph-level
+// optimizations" and Sec. 3.1.2 heterogeneous placement).
+//
+// Passes rewrite the node list in place. Removed nodes are left in the list
+// as pass-through markers (kind preserved, `dead` consumers rewired), so node
+// ids stay stable; the executor skips rewired nodes naturally because no one
+// references them.
+#pragma once
+
+#include <set>
+
+#include "graph/graph.h"
+
+namespace igc::graph {
+
+struct PassStats {
+  int folded_scale_shifts = 0;
+  int fused_activations = 0;
+  int gpu_nodes = 0;
+  int cpu_nodes = 0;
+  int copies_inserted = 0;
+};
+
+/// Folds ScaleShift (inference batch norm) nodes that directly follow a
+/// convolution into the convolution's weights and bias ("simplifying
+/// inference for batch-norm"). The ScaleShift node becomes a pass-through.
+int fold_scale_shift_pass(Graph& g);
+
+/// Fuses Activation nodes into the preceding Conv2d / Add / ScaleShift as an
+/// epilogue, removing one elementwise kernel launch per fusion.
+int fuse_activation_pass(Graph& g);
+
+/// Heterogeneous placement, exactly as described in Sec. 3.1.2:
+/// pass 1 tags every node GPU if its op kind is in the known-performant
+/// list (everything except `cpu_ops`), else CPU; pass 2 inserts a
+/// device_copy node between any two directly connected nodes with different
+/// devices. Returns the number of copies inserted.
+int placement_pass(Graph& g, const std::set<OpKind>& cpu_ops);
+
+/// Runs the standard pipeline: fold, fuse, place. Vision ops stay on the GPU
+/// unless listed in `cpu_ops` (the fallback set).
+PassStats optimize(Graph& g, const std::set<OpKind>& cpu_ops = {});
+
+}  // namespace igc::graph

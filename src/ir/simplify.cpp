@@ -1,0 +1,152 @@
+#include "ir/simplify.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace igc::ir {
+namespace {
+
+bool is_int_const(const ExprPtr& e, int64_t v) {
+  return e->kind == ExprKind::kIntImm && e->int_val == v;
+}
+
+bool is_float_const(const ExprPtr& e, double v) {
+  return e->kind == ExprKind::kFloatImm && e->float_val == v;
+}
+
+/// Constant-folds a binary op over two integer immediates.
+ExprPtr fold_int(BinOp op, int64_t a, int64_t b) {
+  switch (op) {
+    case BinOp::kAdd: return imm(a + b);
+    case BinOp::kSub: return imm(a - b);
+    case BinOp::kMul: return imm(a * b);
+    case BinOp::kDiv: return b == 0 ? nullptr : imm(a / b);
+    case BinOp::kMod: return b == 0 ? nullptr : imm(a % b);
+    case BinOp::kMin: return imm(std::min(a, b));
+    case BinOp::kMax: return imm(std::max(a, b));
+    case BinOp::kLT: return imm(a < b);
+    case BinOp::kLE: return imm(a <= b);
+    case BinOp::kGT: return imm(a > b);
+    case BinOp::kGE: return imm(a >= b);
+    case BinOp::kEQ: return imm(a == b);
+    case BinOp::kAnd: return imm((a != 0) && (b != 0));
+    case BinOp::kOr: return imm((a != 0) || (b != 0));
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ExprPtr simplify(const ExprPtr& e) {
+  IGC_CHECK(e);
+  switch (e->kind) {
+    case ExprKind::kIntImm:
+    case ExprKind::kFloatImm:
+    case ExprKind::kVar:
+      return e;
+    case ExprKind::kLoad: {
+      ExprPtr idx = simplify(e->a);
+      if (idx == e->a) return e;
+      return load(e->name, std::move(idx), e->dtype);
+    }
+    case ExprKind::kSelect: {
+      ExprPtr c = simplify(e->a);
+      ExprPtr t = simplify(e->b);
+      ExprPtr f = simplify(e->c);
+      if (c->kind == ExprKind::kIntImm) return c->int_val != 0 ? t : f;
+      if (c == e->a && t == e->b && f == e->c) return e;
+      return select(std::move(c), std::move(t), std::move(f));
+    }
+    case ExprKind::kBinary:
+      break;
+  }
+
+  ExprPtr a = simplify(e->a);
+  ExprPtr b = simplify(e->b);
+
+  // Constant folding (integer only; float folding would perturb rounding).
+  if (a->kind == ExprKind::kIntImm && b->kind == ExprKind::kIntImm) {
+    if (ExprPtr folded = fold_int(e->op, a->int_val, b->int_val)) {
+      return folded;
+    }
+  }
+
+  // Identities.
+  switch (e->op) {
+    case BinOp::kAdd:
+      if (is_int_const(a, 0) || is_float_const(a, 0.0)) return b;
+      if (is_int_const(b, 0) || is_float_const(b, 0.0)) return a;
+      break;
+    case BinOp::kSub:
+      if (is_int_const(b, 0) || is_float_const(b, 0.0)) return a;
+      break;
+    case BinOp::kMul:
+      if (is_int_const(a, 1) || is_float_const(a, 1.0)) return b;
+      if (is_int_const(b, 1) || is_float_const(b, 1.0)) return a;
+      if (is_int_const(a, 0) || is_int_const(b, 0)) return imm(0);
+      break;
+    case BinOp::kDiv:
+      if (is_int_const(b, 1) || is_float_const(b, 1.0)) return a;
+      break;
+    case BinOp::kAnd:
+      if (is_int_const(a, 1)) return b;
+      if (is_int_const(b, 1)) return a;
+      if (is_int_const(a, 0) || is_int_const(b, 0)) return imm(0);
+      break;
+    case BinOp::kOr:
+      if (is_int_const(a, 0)) return b;
+      if (is_int_const(b, 0)) return a;
+      if (is_int_const(a, 1) || is_int_const(b, 1)) return imm(1);
+      break;
+    default:
+      break;
+  }
+
+  if (a == e->a && b == e->b) return e;
+  return binary(e->op, std::move(a), std::move(b));
+}
+
+StmtPtr simplify(const StmtPtr& s) {
+  IGC_CHECK(s);
+  Stmt out = *s;
+  bool changed = false;
+  auto simp = [&](const ExprPtr& x) -> ExprPtr {
+    if (!x) return x;
+    ExprPtr y = simplify(x);
+    if (y != x) changed = true;
+    return y;
+  };
+  out.index = simp(s->index);
+  out.value = simp(s->value);
+  out.cond = simp(s->cond);
+  std::vector<StmtPtr> body;
+  body.reserve(s->body.size());
+  for (const StmtPtr& child : s->body) {
+    StmtPtr c = simplify(child);
+    if (c != child) changed = true;
+    // Drop statically dead branches.
+    if (c->kind == StmtKind::kIf && c->cond->kind == ExprKind::kIntImm) {
+      changed = true;
+      if (c->cond->int_val != 0) {
+        for (const StmtPtr& inner : c->body) body.push_back(inner);
+      }
+      continue;
+    }
+    body.push_back(std::move(c));
+  }
+  out.body = std::move(body);
+  if (!changed) return s;
+  return std::make_shared<const Stmt>(std::move(out));
+}
+
+LoweredKernel simplify(const LoweredKernel& k) {
+  LoweredKernel out;
+  out.name = k.name;
+  out.params = k.params;
+  out.body.reserve(k.body.size());
+  for (const StmtPtr& s : k.body) out.body.push_back(simplify(s));
+  return out;
+}
+
+}  // namespace igc::ir

@@ -1,0 +1,22 @@
+// Algebraic simplification of IR expressions before code generation.
+//
+// Lowering produces index arithmetic full of `x * 1`, `x + 0`, and
+// constant-foldable subtrees (e.g. `(0 - 1)` paddings). The simplifier
+// folds constants and strips identities so the emitted OpenCL/CUDA reads
+// like hand-written code and the device compiler has less to chew on.
+#pragma once
+
+#include "ir/expr.h"
+
+namespace igc::ir {
+
+/// Returns an equivalent, simplified expression.
+ExprPtr simplify(const ExprPtr& e);
+
+/// Simplifies every expression in a statement tree.
+StmtPtr simplify(const StmtPtr& s);
+
+/// Simplifies a whole kernel (parameters unchanged).
+LoweredKernel simplify(const LoweredKernel& k);
+
+}  // namespace igc::ir

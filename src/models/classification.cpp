@@ -1,0 +1,151 @@
+// Image-classification models: ResNet-50 v1, MobileNet 1.0, SqueezeNet 1.0.
+#include <cmath>
+
+#include "models/common.h"
+#include "models/models.h"
+#include "ops/nn/nn_ops.h"
+
+namespace igc::models {
+
+/// ResNet v1 bottleneck: 1x1 reduce, 3x3, 1x1 expand (+ projection shortcut
+/// when shape changes), ReLU after the residual add.
+int resnet_bottleneck(graph::Graph& g, Rng& rng, const std::string& name,
+                      int input, int64_t mid_channels, int64_t stride) {
+  const int64_t out_channels = mid_channels * 4;
+  const bool project =
+      g.node(input).out_shape[1] != out_channels || stride != 1;
+  int shortcut = input;
+  if (project) {
+    shortcut = conv_bn_act(g, rng, name + "_proj", input, out_channels, 1,
+                           stride, 0, 1, /*relu=*/false);
+  }
+  int x = conv_bn_act(g, rng, name + "_1x1a", input, mid_channels, 1, 1, 0);
+  x = conv_bn_act(g, rng, name + "_3x3", x, mid_channels, 3, stride, 1);
+  x = conv_bn_act(g, rng, name + "_1x1b", x, out_channels, 1, 1, 0, 1,
+                  /*relu=*/false);
+  const int sum = g.add_add(name + "_add", x, shortcut);
+  return g.add_activation(name + "_out", sum, ops::Activation::kRelu);
+}
+
+namespace {
+
+int classifier_head(graph::Graph& g, Rng& rng, int x, int64_t num_classes) {
+  const int gap = g.add_global_avg_pool("gap", x);
+  const int flat = g.add_flatten("flatten", gap);
+  const Shape& fs = g.node(flat).out_shape;
+  ops::DenseParams dp;
+  dp.batch = fs[0];
+  dp.in_features = fs[1];
+  dp.out_features = num_classes;
+  Tensor w = Tensor::random_normal(Shape{num_classes, dp.in_features}, rng,
+                                   std::sqrt(2.0f / static_cast<float>(dp.in_features)));
+  Tensor b = Tensor::random_normal(Shape{num_classes}, rng, 0.01f);
+  const int fc = g.add_dense("fc", flat, dp, std::move(w), std::move(b));
+  return g.add_softmax("prob", fc);
+}
+
+}  // namespace
+
+Model build_resnet50(Rng& rng, int64_t image_size, int64_t batch,
+                     int64_t num_classes) {
+  Model m;
+  m.name = "ResNet50_v1";
+  graph::Graph& g = m.graph;
+  const int input = g.add_input("data", Shape{batch, 3, image_size, image_size});
+  int x = conv_bn_act(g, rng, "conv0", input, 64, 7, 2, 3);
+  ops::Pool2dParams mp;
+  mp.kind = ops::PoolKind::kMax;
+  mp.kernel = 3;
+  mp.stride = 2;
+  mp.pad = 1;
+  x = g.add_pool2d("pool0", x, mp);
+
+  const int64_t stage_mid[4] = {64, 128, 256, 512};
+  const int stage_blocks[4] = {3, 4, 6, 3};
+  for (int s = 0; s < 4; ++s) {
+    for (int b = 0; b < stage_blocks[s]; ++b) {
+      const int64_t stride = (b == 0 && s > 0) ? 2 : 1;
+      x = resnet_bottleneck(
+          g, rng,
+          "stage" + std::to_string(s + 1) + "_block" + std::to_string(b + 1),
+          x, stage_mid[s], stride);
+    }
+  }
+  const int out = classifier_head(g, rng, x, num_classes);
+  g.set_output(out);
+  g.validate();
+  return m;
+}
+
+Model build_mobilenet(Rng& rng, int64_t image_size, int64_t batch,
+                      int64_t num_classes) {
+  Model m;
+  m.name = "MobileNet1.0";
+  graph::Graph& g = m.graph;
+  const int input = g.add_input("data", Shape{batch, 3, image_size, image_size});
+  int x = conv_bn_act(g, rng, "conv0", input, 32, 3, 2, 1);
+
+  // (out_channels, stride) of the 13 depthwise-separable blocks.
+  const std::pair<int64_t, int64_t> blocks[] = {
+      {64, 1},  {128, 2}, {128, 1}, {256, 2},  {256, 1},  {512, 2}, {512, 1},
+      {512, 1}, {512, 1}, {512, 1}, {512, 1},  {1024, 2}, {1024, 1}};
+  int idx = 0;
+  for (const auto& [out_c, stride] : blocks) {
+    const std::string name = "dw" + std::to_string(++idx);
+    const int64_t in_c = g.node(x).out_shape[1];
+    x = conv_bn_act(g, rng, name + "_depthwise", x, in_c, 3, stride, 1,
+                    /*groups=*/in_c);
+    x = conv_bn_act(g, rng, name + "_pointwise", x, out_c, 1, 1, 0);
+  }
+  const int out = classifier_head(g, rng, x, num_classes);
+  g.set_output(out);
+  g.validate();
+  return m;
+}
+
+namespace {
+
+int fire_module(graph::Graph& g, Rng& rng, const std::string& name, int input,
+                int64_t squeeze, int64_t expand1, int64_t expand3) {
+  const int s = conv_bn_act(g, rng, name + "_squeeze1x1", input, squeeze, 1, 1, 0);
+  const int e1 = conv_bn_act(g, rng, name + "_expand1x1", s, expand1, 1, 1, 0);
+  const int e3 = conv_bn_act(g, rng, name + "_expand3x3", s, expand3, 3, 1, 1);
+  return g.add_concat(name + "_concat", {e1, e3});
+}
+
+}  // namespace
+
+Model build_squeezenet(Rng& rng, int64_t image_size, int64_t batch,
+                       int64_t num_classes) {
+  Model m;
+  m.name = "SqueezeNet1.0";
+  graph::Graph& g = m.graph;
+  const int input = g.add_input("data", Shape{batch, 3, image_size, image_size});
+  int x = conv_bn_act(g, rng, "conv1", input, 96, 7, 2, 3);
+  ops::Pool2dParams mp;
+  mp.kind = ops::PoolKind::kMax;
+  mp.kernel = 3;
+  mp.stride = 2;
+  mp.pad = 0;
+  x = g.add_pool2d("pool1", x, mp);
+  x = fire_module(g, rng, "fire2", x, 16, 64, 64);
+  x = fire_module(g, rng, "fire3", x, 16, 64, 64);
+  x = fire_module(g, rng, "fire4", x, 32, 128, 128);
+  x = g.add_pool2d("pool4", x, mp);
+  x = fire_module(g, rng, "fire5", x, 32, 128, 128);
+  x = fire_module(g, rng, "fire6", x, 48, 192, 192);
+  x = fire_module(g, rng, "fire7", x, 48, 192, 192);
+  x = fire_module(g, rng, "fire8", x, 64, 256, 256);
+  x = g.add_pool2d("pool8", x, mp);
+  x = fire_module(g, rng, "fire9", x, 64, 256, 256);
+  // conv10: 1x1 to num_classes, then GAP + softmax.
+  x = conv_bn_act(g, rng, "conv10", x, num_classes, 1, 1, 0);
+  const int gap = g.add_global_avg_pool("gap", x);
+  const int flat = g.add_flatten("flatten", gap);
+  const int out = g.add_softmax("prob", flat);
+  g.set_output(out);
+  g.validate();
+  return m;
+}
+
+}  // namespace igc::models

@@ -1,0 +1,67 @@
+#include "models/common.h"
+
+#include <cmath>
+
+#include "ops/nn/nn_ops.h"
+
+namespace igc::models {
+
+int conv_bn_act(graph::Graph& g, Rng& rng, const std::string& name, int input,
+                int64_t out_channels, int64_t kernel, int64_t stride,
+                int64_t pad, int64_t groups, bool relu, bool leaky) {
+  const Shape& in_shape = g.node(input).out_shape;
+  ops::Conv2dParams p;
+  p.batch = in_shape[0];
+  p.in_channels = in_shape[1];
+  p.in_h = in_shape[2];
+  p.in_w = in_shape[3];
+  p.out_channels = out_channels;
+  p.kernel_h = p.kernel_w = kernel;
+  p.stride_h = p.stride_w = stride;
+  p.pad_h = p.pad_w = pad;
+  p.groups = groups;
+  const float fan_in =
+      static_cast<float>((p.in_channels / groups) * kernel * kernel);
+  Tensor w = Tensor::random_normal(
+      Shape{out_channels, p.in_channels / groups, kernel, kernel}, rng,
+      std::sqrt(2.0f / fan_in));
+  const int conv = g.add_conv2d(name, input, p, std::move(w));
+
+  // Inference batch norm as a scale-shift node; the fold pass merges it into
+  // the conv.
+  Tensor gamma = Tensor::random_uniform(Shape{out_channels}, rng, 0.8f, 1.2f);
+  Tensor beta = Tensor::random_normal(Shape{out_channels}, rng, 0.05f);
+  Tensor mean = Tensor::random_normal(Shape{out_channels}, rng, 0.05f);
+  Tensor var = Tensor::random_uniform(Shape{out_channels}, rng, 0.5f, 1.5f);
+  Tensor scale, shift;
+  ops::fold_batch_norm(gamma, beta, mean, var, 1e-5f, &scale, &shift);
+  const int bn = g.add_scale_shift(name + "_bn", conv, std::move(scale),
+                                   std::move(shift));
+  if (!relu && !leaky) return bn;
+  return g.add_activation(
+      name + (leaky ? "_leaky" : "_relu"), bn,
+      leaky ? ops::Activation::kLeakyRelu : ops::Activation::kRelu, 0.1f);
+}
+
+int conv_bias(graph::Graph& g, Rng& rng, const std::string& name, int input,
+              int64_t out_channels, int64_t kernel, int64_t stride,
+              int64_t pad) {
+  const Shape& in_shape = g.node(input).out_shape;
+  ops::Conv2dParams p;
+  p.batch = in_shape[0];
+  p.in_channels = in_shape[1];
+  p.in_h = in_shape[2];
+  p.in_w = in_shape[3];
+  p.out_channels = out_channels;
+  p.kernel_h = p.kernel_w = kernel;
+  p.stride_h = p.stride_w = stride;
+  p.pad_h = p.pad_w = pad;
+  const float fan_in = static_cast<float>(p.in_channels * kernel * kernel);
+  Tensor w = Tensor::random_normal(
+      Shape{out_channels, p.in_channels, kernel, kernel}, rng,
+      std::sqrt(2.0f / fan_in));
+  Tensor b = Tensor::random_normal(Shape{out_channels}, rng, 0.01f);
+  return g.add_conv2d(name, input, p, std::move(w), std::move(b));
+}
+
+}  // namespace igc::models

@@ -1,0 +1,29 @@
+// Shared building blocks for the model zoo.
+#pragma once
+
+#include <string>
+
+#include "core/rng.h"
+#include "graph/graph.h"
+
+namespace igc::models {
+
+/// Conv -> (folded-at-build) batch norm -> activation. Weights are
+/// Xavier-ish random; batch-norm statistics are random but well-conditioned.
+/// Returns the output node id. `act` < 0 skips the activation.
+int conv_bn_act(graph::Graph& g, Rng& rng, const std::string& name, int input,
+                int64_t out_channels, int64_t kernel, int64_t stride,
+                int64_t pad, int64_t groups = 1, bool relu = true,
+                bool leaky = false);
+
+/// Plain conv with bias, no BN/activation (detection heads).
+int conv_bias(graph::Graph& g, Rng& rng, const std::string& name, int input,
+              int64_t out_channels, int64_t kernel, int64_t stride,
+              int64_t pad);
+
+/// ResNet v1 bottleneck (1x1 -> 3x3 -> 1x1 + shortcut), shared between the
+/// classifier and the SSD backbone.
+int resnet_bottleneck(graph::Graph& g, Rng& rng, const std::string& name,
+                      int input, int64_t mid_channels, int64_t stride);
+
+}  // namespace igc::models

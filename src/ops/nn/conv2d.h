@@ -1,0 +1,98 @@
+// 2-D convolution: the paper's dominant compute-intensive operator
+// (Sec. 3.2.2). Provides
+//   * a reference NCHW implementation (ground truth for every test),
+//   * the schedule template: a config space of tiling / vectorization /
+//     unrolling / work-group / subgroup knobs per the paper's heuristics,
+//   * the analytic cost model mapping (workload, config, device) to a
+//     KernelLaunch for the simulator, and
+//   * lowering of the scheduled loop nest to the unified IR for codegen.
+#pragma once
+
+#include <string>
+
+#include "ir/expr.h"
+#include "sim/device_spec.h"
+#include "sim/timing_model.h"
+#include "tensor/tensor.h"
+#include "tune/config.h"
+
+namespace igc::ops {
+
+struct Conv2dParams {
+  int64_t batch = 1;
+  int64_t in_channels = 1;
+  int64_t in_h = 1;
+  int64_t in_w = 1;
+  int64_t out_channels = 1;
+  int64_t kernel_h = 1;
+  int64_t kernel_w = 1;
+  int64_t stride_h = 1;
+  int64_t stride_w = 1;
+  int64_t pad_h = 0;
+  int64_t pad_w = 0;
+  int64_t groups = 1;
+
+  int64_t out_h() const { return (in_h + 2 * pad_h - kernel_h) / stride_h + 1; }
+  int64_t out_w() const { return (in_w + 2 * pad_w - kernel_w) / stride_w + 1; }
+  bool is_depthwise() const {
+    return groups > 1 && groups == in_channels && groups == out_channels;
+  }
+
+  /// Multiply-add counted as 2 ops.
+  int64_t flops() const {
+    return 2 * batch * out_channels * out_h() * out_w() *
+           (in_channels / groups) * kernel_h * kernel_w;
+  }
+
+  /// Bytes touched if every tensor moved exactly once (roofline floor).
+  int64_t min_bytes() const {
+    const int64_t in = batch * in_channels * in_h * in_w;
+    const int64_t w = out_channels * (in_channels / groups) * kernel_h * kernel_w;
+    const int64_t out = batch * out_channels * out_h() * out_w();
+    return 4 * (in + w + out);
+  }
+
+  /// Stable identity used as tuning-database key.
+  std::string workload_key() const;
+
+  void validate() const;
+};
+
+/// Ground-truth convolution. input: (N, CI, H, W); weight: (CO, CI/g, KH, KW);
+/// bias: optional (CO). Returns (N, CO, OH, OW).
+Tensor conv2d_reference(const Tensor& input, const Tensor& weight,
+                        const Tensor* bias, const Conv2dParams& p);
+
+/// The schedule template's search space for this workload on this device
+/// (the paper's heuristics: split output channels, split the feature map
+/// along height/width, unroll the kernel loops, vectorize, choose work-group
+/// size; Intel additionally exposes the subgroup knob).
+tune::ConfigSpace conv2d_config_space(const Conv2dParams& p,
+                                      const sim::DeviceSpec& dev);
+
+/// The hand-written fallback schedule (what stock TVM 0.5 ships): a generic
+/// template written for large, regular convolutions on server GPUs — decent
+/// there, increasingly wrong for depthwise, narrow, or edge-sized workloads.
+/// This is the "Before" of Table 5.
+tune::ScheduleConfig conv2d_manual_schedule(const Conv2dParams& p,
+                                            const sim::DeviceSpec& dev);
+
+/// Analytic cost of running this workload with this schedule on this device.
+/// This is the "measurement" the tuner optimizes; it encodes the
+/// architectural effects of Sec. 2.1/3.2: SIMD utilization, register-tile
+/// footprint vs GRF budget, occupancy, unrolling, Intel subgroups, and
+/// Mali's lack of shared local memory.
+sim::KernelLaunch conv2d_kernel_cost(const Conv2dParams& p,
+                                     const tune::ScheduleConfig& cfg,
+                                     const sim::DeviceSpec& dev);
+
+/// Convenience: latency in ms of one launch under the analytic model.
+double conv2d_latency_ms(const Conv2dParams& p, const tune::ScheduleConfig& cfg,
+                         const sim::DeviceSpec& dev);
+
+/// Lowers the scheduled direct convolution to the unified IR (used for
+/// OpenCL/CUDA codegen and interpreter validation). Supports groups == 1.
+ir::LoweredKernel conv2d_build_ir(const Conv2dParams& p,
+                                  const tune::ScheduleConfig& cfg);
+
+}  // namespace igc::ops

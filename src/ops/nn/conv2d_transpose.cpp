@@ -1,0 +1,114 @@
+#include "ops/nn/conv2d_transpose.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/error.h"
+#include "core/thread_pool.h"
+
+namespace igc::ops {
+
+void Conv2dTransposeParams::validate() const {
+  IGC_CHECK_GT(batch, 0);
+  IGC_CHECK_GT(in_channels, 0);
+  IGC_CHECK_GT(out_channels, 0);
+  IGC_CHECK_GT(kernel, 0);
+  IGC_CHECK_GT(stride, 0);
+  IGC_CHECK_GE(pad, 0);
+  IGC_CHECK_GT(out_h(), 0);
+  IGC_CHECK_GT(out_w(), 0);
+}
+
+std::string Conv2dTransposeParams::workload_key() const {
+  std::ostringstream os;
+  os << "conv2d_transpose_n" << batch << "_ci" << in_channels << "_h" << in_h
+     << "_w" << in_w << "_co" << out_channels << "_k" << kernel << "_s"
+     << stride << "_p" << pad;
+  return os.str();
+}
+
+Tensor conv2d_transpose_reference(const Tensor& input, const Tensor& weight,
+                                  const Tensor* bias,
+                                  const Conv2dTransposeParams& p) {
+  p.validate();
+  IGC_CHECK(input.shape() == Shape({p.batch, p.in_channels, p.in_h, p.in_w}));
+  IGC_CHECK(weight.shape() ==
+            Shape({p.in_channels, p.out_channels, p.kernel, p.kernel}));
+  const int64_t oh = p.out_h();
+  const int64_t ow = p.out_w();
+  Tensor out(Shape{p.batch, p.out_channels, oh, ow}, DType::kFloat32);
+  const float* in = input.data_f32();
+  const float* wt = weight.data_f32();
+  const float* bs = bias ? bias->data_f32() : nullptr;
+  float* o = out.data_f32();
+
+  // Gather formulation (race free): for each output element, sum the input
+  // positions whose stamp covers it.
+  ThreadPool::global().parallel_for(p.batch * p.out_channels, [&](int64_t idx) {
+    const int64_t n = idx / p.out_channels;
+    const int64_t co = idx % p.out_channels;
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        float acc = bs ? bs[co] : 0.0f;
+        for (int64_t ky = 0; ky < p.kernel; ++ky) {
+          const int64_t ny = oy + p.pad - ky;
+          if (ny % p.stride != 0) continue;
+          const int64_t iy = ny / p.stride;
+          if (iy < 0 || iy >= p.in_h) continue;
+          for (int64_t kx = 0; kx < p.kernel; ++kx) {
+            const int64_t nx = ox + p.pad - kx;
+            if (nx % p.stride != 0) continue;
+            const int64_t ix = nx / p.stride;
+            if (ix < 0 || ix >= p.in_w) continue;
+            for (int64_t ci = 0; ci < p.in_channels; ++ci) {
+              acc += in[((n * p.in_channels + ci) * p.in_h + iy) * p.in_w + ix] *
+                     wt[((ci * p.out_channels + co) * p.kernel + ky) * p.kernel +
+                        kx];
+            }
+          }
+        }
+        o[((n * p.out_channels + co) * oh + oy) * ow + ox] = acc;
+      }
+    }
+  });
+  return out;
+}
+
+Tensor bilinear_upsample_weights(int64_t channels, int64_t kernel) {
+  Tensor w = Tensor::zeros(Shape{channels, channels, kernel, kernel});
+  // Classic FCN initialization: a separable triangular (bilinear) filter.
+  const double f = static_cast<double>((kernel + 1) / 2);
+  const double c = (kernel % 2 == 1) ? f - 1.0 : f - 0.5;
+  for (int64_t ch = 0; ch < channels; ++ch) {
+    for (int64_t y = 0; y < kernel; ++y) {
+      for (int64_t x = 0; x < kernel; ++x) {
+        const double vy = 1.0 - std::abs(static_cast<double>(y) - c) / f;
+        const double vx = 1.0 - std::abs(static_cast<double>(x) - c) / f;
+        w.data_f32()[((ch * channels + ch) * kernel + y) * kernel + x] =
+            static_cast<float>(vy * vx);
+      }
+    }
+  }
+  return w;
+}
+
+sim::KernelLaunch conv2d_transpose_kernel_cost(const Conv2dTransposeParams& p,
+                                               const sim::DeviceSpec& dev) {
+  sim::KernelLaunch k;
+  k.name = p.workload_key();
+  k.flops = p.flops();
+  k.work_items = p.batch * p.out_channels * p.out_h() * p.out_w() / 4;
+  k.work_group_size = static_cast<int>(
+      std::min<int64_t>(k.work_items, dev.simd_width * 4));
+  // The gather pattern has stride-divisibility branches: mild divergence.
+  k.compute_efficiency = 0.40;
+  k.divergence_factor = 1.3;
+  k.dram_read_bytes =
+      4 * (p.batch * p.in_channels * p.in_h * p.in_w +
+           p.in_channels * p.out_channels * p.kernel * p.kernel);
+  k.dram_write_bytes = 4 * p.batch * p.out_channels * p.out_h() * p.out_w();
+  return k;
+}
+
+}  // namespace igc::ops

@@ -1,0 +1,48 @@
+// Transposed (fractionally-strided) convolution — the learned-upsampling
+// operator of semantic-segmentation heads (FCN, the third vision task the
+// paper's introduction motivates alongside classification and detection).
+#pragma once
+
+#include <string>
+
+#include "sim/device_spec.h"
+#include "sim/timing_model.h"
+#include "tensor/tensor.h"
+
+namespace igc::ops {
+
+struct Conv2dTransposeParams {
+  int64_t batch = 1;
+  int64_t in_channels = 1;
+  int64_t in_h = 1;
+  int64_t in_w = 1;
+  int64_t out_channels = 1;
+  int64_t kernel = 2;
+  int64_t stride = 2;
+  int64_t pad = 0;
+
+  int64_t out_h() const { return (in_h - 1) * stride - 2 * pad + kernel; }
+  int64_t out_w() const { return (in_w - 1) * stride - 2 * pad + kernel; }
+  int64_t flops() const {
+    // Every input element contributes a kernel x kernel x out_channels stamp.
+    return 2 * batch * in_channels * in_h * in_w * out_channels * kernel *
+           kernel;
+  }
+  std::string workload_key() const;
+  void validate() const;
+};
+
+/// input: (N, CI, H, W); weight: (CI, CO, K, K) (the deconvolution
+/// convention); bias optional (CO). Returns (N, CO, OH, OW).
+Tensor conv2d_transpose_reference(const Tensor& input, const Tensor& weight,
+                                  const Tensor* bias,
+                                  const Conv2dTransposeParams& p);
+
+/// Builds the bilinear-interpolation weight tensor (CI, CO, K, K) used to
+/// initialize FCN upsampling layers (non-zero only where ci == co).
+Tensor bilinear_upsample_weights(int64_t channels, int64_t kernel);
+
+sim::KernelLaunch conv2d_transpose_kernel_cost(const Conv2dTransposeParams& p,
+                                               const sim::DeviceSpec& dev);
+
+}  // namespace igc::ops

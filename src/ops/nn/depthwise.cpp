@@ -1,0 +1,96 @@
+#include "ops/nn/depthwise.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace igc::ops {
+
+bool depthwise_template_applicable(const Conv2dParams& p) {
+  return p.is_depthwise();
+}
+
+tune::ConfigSpace depthwise_config_space(const Conv2dParams& p,
+                                         const sim::DeviceSpec& dev) {
+  IGC_CHECK(depthwise_template_applicable(p));
+  tune::ConfigSpace space;
+  // Lanes map across the width dimension: tile_ow is the per-thread strip.
+  space.add_knob("tile_oh", tune::tile_candidates(p.out_h(), 8));
+  space.add_knob("tile_ow", tune::tile_candidates(p.out_w(), 16));
+  space.add_knob("unroll", {1, 2, 4});
+  std::vector<int64_t> vec{1, 2, 4};
+  if (dev.simd_width >= 8) vec.push_back(8);
+  if (dev.simd_width >= 16) vec.push_back(16);
+  if (dev.simd_width >= 32) vec.push_back(32);
+  space.add_knob("vec", std::move(vec));
+  space.add_knob("wg", {32, 64, 128});
+  // Halo sharing across the hardware thread (Intel block reads).
+  space.add_knob("use_subgroup", dev.has_subgroups
+                                     ? std::vector<int64_t>{0, 1}
+                                     : std::vector<int64_t>{0});
+  return space;
+}
+
+sim::KernelLaunch depthwise_kernel_cost(const Conv2dParams& p,
+                                        const tune::ScheduleConfig& cfg,
+                                        const sim::DeviceSpec& dev) {
+  IGC_CHECK(depthwise_template_applicable(p));
+  const int64_t tile_oh = cfg.at("tile_oh");
+  const int64_t tile_ow = cfg.at("tile_ow");
+  const int64_t unroll = cfg.at("unroll");
+  const int64_t vec = cfg.at("vec");
+  const int64_t wg = cfg.at("wg");
+  const bool use_subgroup = cfg.get_or("use_subgroup", 0) != 0;
+
+  const int64_t oh = p.out_h();
+  const int64_t ow = p.out_w();
+
+  sim::KernelLaunch k;
+  k.name = p.workload_key() + "_dwspecial";
+  k.flops = p.flops();
+
+  // One work item per (channel, spatial tile): lanes run adjacent columns of
+  // the SAME channel, so SIMD utilization no longer depends on group width.
+  const int64_t oh_blocks = (oh + tile_oh - 1) / tile_oh;
+  const int64_t ow_blocks = (ow + tile_ow - 1) / tile_ow;
+  k.work_items = p.batch * p.in_channels * oh_blocks * ow_blocks;
+  k.work_group_size = static_cast<int>(std::min<int64_t>(wg, k.work_items));
+
+  // Lanes cover the width strip: vectorization matches when the strip is at
+  // least as wide as the SIMD unit.
+  const double lane_cover =
+      static_cast<double>(std::min<int64_t>(tile_ow * vec, dev.simd_width)) /
+      static_cast<double>(dev.simd_width);
+  const double eff_vec = 0.35 + 0.65 * lane_cover;
+  const double work = static_cast<double>(tile_oh * tile_ow);
+  double eff_tile = work / (work + 4.0);
+  double eff_unroll = unroll == 1 ? 0.85 : 1.0;
+  // Short 9-element reduction: unavoidable pipeline bubbles.
+  const double eff_red = 0.80;
+  double eff = eff_vec * eff_tile * eff_unroll * eff_red;
+  if (use_subgroup) {
+    // Halo rows shared through the GRFs: each input row is block-read once
+    // per hardware thread instead of once per lane.
+    eff *= 1.25;
+  }
+  if (!dev.has_shared_local_mem && wg > 64) eff *= 0.85;
+  k.compute_efficiency = std::min(eff, 1.0);
+
+  // Depthwise is memory bound: roughly one read + one write per element,
+  // with halo overlap absorbed by the subgroup sharing.
+  const int64_t in_bytes = 4 * p.batch * p.in_channels * p.in_h * p.in_w;
+  const int64_t out_bytes = 4 * p.batch * p.out_channels * oh * ow;
+  const double halo = use_subgroup ? 1.1 : 1.6;
+  k.dram_read_bytes = static_cast<int64_t>(static_cast<double>(in_bytes) * halo);
+  k.dram_write_bytes = out_bytes;
+  return k;
+}
+
+double depthwise_latency_ms(const Conv2dParams& p,
+                            const tune::ScheduleConfig& cfg,
+                            const sim::DeviceSpec& dev) {
+  return sim::estimate_latency_ms(dev, depthwise_kernel_cost(p, cfg, dev));
+}
+
+}  // namespace igc::ops

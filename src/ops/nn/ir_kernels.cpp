@@ -1,0 +1,141 @@
+#include "ops/nn/ir_kernels.h"
+
+#include "core/error.h"
+#include "ir/simplify.h"
+
+namespace igc::ops {
+
+using namespace igc::ir;  // NOLINT
+
+ir::LoweredKernel depthwise_build_ir(const Conv2dParams& p,
+                                     const tune::ScheduleConfig& cfg) {
+  p.validate();
+  IGC_CHECK(p.is_depthwise());
+  const int64_t oh = p.out_h();
+  const int64_t ow = p.out_w();
+  const int64_t tile_ow = cfg.get_or("tile_ow", 1);
+  IGC_CHECK_EQ(ow % tile_ow, 0);
+
+  LoweredKernel k;
+  k.name = "depthwise_conv2d_kernel";
+  k.params = {
+      {"data", DType::kFloat32, p.batch * p.in_channels * p.in_h * p.in_w,
+       false},
+      {"weight", DType::kFloat32, p.out_channels * p.kernel_h * p.kernel_w,
+       false},
+      {"out", DType::kFloat32, p.batch * p.out_channels * oh * ow, true},
+  };
+
+  // n, c -> blocks; rows -> blockX; column strips -> threads (the lanes run
+  // adjacent columns of the same channel, the specialization's point).
+  auto vn = var("n");
+  auto vc = var("c");
+  auto vy = var("y");
+  auto vxo = var("x_o");
+  auto vxi = var("x_i");
+  auto vky = var("ky");
+  auto vkx = var("kx");
+
+  auto x = add(mul(vxo, imm(tile_ow)), vxi);
+  auto iy = add(mul(vy, imm(p.stride_h)), sub(vky, imm(p.pad_h)));
+  auto ix = add(mul(x, imm(p.stride_w)), sub(vkx, imm(p.pad_w)));
+  auto in_bounds = logical_and(
+      logical_and(binary(BinOp::kGE, iy, imm(0)), lt(iy, imm(p.in_h))),
+      logical_and(binary(BinOp::kGE, ix, imm(0)), lt(ix, imm(p.in_w))));
+
+  auto data_idx = add(
+      mul(add(mul(add(mul(vn, imm(p.in_channels)), vc), imm(p.in_h)), iy),
+          imm(p.in_w)),
+      ix);
+  auto weight_idx =
+      add(mul(add(mul(vc, imm(p.kernel_h)), vky), imm(p.kernel_w)), vkx);
+  auto out_idx = add(
+      mul(add(mul(add(mul(vn, imm(p.out_channels)), vc), imm(oh)), vy),
+          imm(ow)),
+      x);
+
+  auto contribution =
+      select(in_bounds, mul(load("data", data_idx), load("weight", weight_idx)),
+             fimm(0.0));
+  StmtPtr acc_update =
+      make_assign("acc", add(var("acc", DType::kFloat32), contribution));
+  StmtPtr loop_kx =
+      make_for({"kx", p.kernel_w, IterKind::kUnrolled}, {acc_update});
+  StmtPtr loop_ky = make_for({"ky", p.kernel_h, IterKind::kUnrolled}, {loop_kx});
+
+  std::vector<StmtPtr> strip{
+      make_decl_local("acc", DType::kFloat32, fimm(0.0)),
+      loop_ky,
+      make_store("out", out_idx, var("acc", DType::kFloat32)),
+  };
+  StmtPtr loop_xi = make_for({"x_i", tile_ow, IterKind::kSerial}, strip);
+  StmtPtr loop_xo =
+      make_for({"x_o", ow / tile_ow, IterKind::kThreadX}, {loop_xi});
+  StmtPtr loop_y = make_for({"y", oh, IterKind::kBlockX}, {loop_xo});
+  StmtPtr loop_c =
+      make_for({"c", p.in_channels, IterKind::kBlockY}, {loop_y});
+  StmtPtr loop_n = make_for({"n", p.batch, IterKind::kBlockZ}, {loop_c});
+  k.body = {make_comment("depthwise conv2d, schedule: " + cfg.str()), loop_n};
+  return ir::simplify(k);
+}
+
+ir::LoweredKernel relu_build_ir(int64_t numel, int64_t vec) {
+  IGC_CHECK_GT(numel, 0);
+  IGC_CHECK_EQ(numel % vec, 0);
+  LoweredKernel k;
+  k.name = "relu_kernel";
+  k.params = {{"data", DType::kFloat32, numel, false},
+              {"out", DType::kFloat32, numel, true}};
+  auto gi = var("g");
+  auto vi = var("v");
+  auto idx = add(mul(gi, imm(vec)), vi);
+  StmtPtr body = make_store(
+      "out", idx, max_e(load("data", idx), fimm(0.0)));
+  StmtPtr loop_v = make_for({"v", vec, IterKind::kVectorized}, {body});
+  StmtPtr loop_g = make_for({"g", numel / vec, IterKind::kBlockX}, {loop_v});
+  k.body = {loop_g};
+  return ir::simplify(k);
+}
+
+ir::LoweredKernel add_build_ir(int64_t numel, bool fused_relu, int64_t vec) {
+  IGC_CHECK_GT(numel, 0);
+  IGC_CHECK_EQ(numel % vec, 0);
+  LoweredKernel k;
+  k.name = fused_relu ? "add_relu_kernel" : "add_kernel";
+  k.params = {{"a", DType::kFloat32, numel, false},
+              {"b", DType::kFloat32, numel, false},
+              {"out", DType::kFloat32, numel, true}};
+  auto gi = var("g");
+  auto vi = var("v");
+  auto idx = add(mul(gi, imm(vec)), vi);
+  ExprPtr sum = add(load("a", idx), load("b", idx));
+  if (fused_relu) sum = max_e(std::move(sum), fimm(0.0));
+  StmtPtr body = make_store("out", idx, std::move(sum));
+  StmtPtr loop_v = make_for({"v", vec, IterKind::kVectorized}, {body});
+  StmtPtr loop_g = make_for({"g", numel / vec, IterKind::kBlockX}, {loop_v});
+  k.body = {loop_g};
+  return ir::simplify(k);
+}
+
+ir::LoweredKernel scale_shift_build_ir(int64_t n, int64_t c, int64_t hw) {
+  LoweredKernel k;
+  k.name = "scale_shift_kernel";
+  k.params = {{"data", DType::kFloat32, n * c * hw, false},
+              {"scale", DType::kFloat32, c, false},
+              {"shift", DType::kFloat32, c, false},
+              {"out", DType::kFloat32, n * c * hw, true}};
+  auto vn = var("n");
+  auto vc = var("c");
+  auto vi = var("i");
+  auto idx = add(mul(add(mul(vn, imm(c)), vc), imm(hw)), vi);
+  StmtPtr body = make_store(
+      "out", idx,
+      add(mul(load("data", idx), load("scale", vc)), load("shift", vc)));
+  StmtPtr loop_i = make_for({"i", hw, IterKind::kThreadX}, {body});
+  StmtPtr loop_c = make_for({"c", c, IterKind::kBlockX}, {loop_i});
+  StmtPtr loop_n = make_for({"n", n, IterKind::kBlockY}, {loop_c});
+  k.body = {loop_n};
+  return ir::simplify(k);
+}
+
+}  // namespace igc::ops

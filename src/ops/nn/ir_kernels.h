@@ -1,0 +1,29 @@
+// Additional unified-IR lowerings beyond the direct convolution: the
+// depthwise template and the fused elementwise epilogues. Together with
+// conv2d_build_ir these cover the kernels a compiled classification model
+// actually launches, all printable as OpenCL or CUDA (codegen) and
+// executable on the host (ir::interpret).
+#pragma once
+
+#include "ir/expr.h"
+#include "ops/nn/conv2d.h"
+#include "tune/config.h"
+
+namespace igc::ops {
+
+/// Depthwise 3x3-style convolution with the specialized spatial-lane
+/// mapping (see depthwise.h). Buffers: data, weight, out.
+ir::LoweredKernel depthwise_build_ir(const Conv2dParams& p,
+                                     const tune::ScheduleConfig& cfg);
+
+/// out[i] = max(data[i], 0) — one work item per `vec`-element strip.
+ir::LoweredKernel relu_build_ir(int64_t numel, int64_t vec = 4);
+
+/// out[i] = a[i] + b[i], optionally with a fused ReLU epilogue.
+ir::LoweredKernel add_build_ir(int64_t numel, bool fused_relu,
+                               int64_t vec = 4);
+
+/// out[n,c,h,w] = data[n,c,h,w] * scale[c] + shift[c] for NCHW tensors.
+ir::LoweredKernel scale_shift_build_ir(int64_t n, int64_t c, int64_t hw);
+
+}  // namespace igc::ops

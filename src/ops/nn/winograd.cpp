@@ -1,0 +1,274 @@
+#include "ops/nn/winograd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/error.h"
+#include "core/thread_pool.h"
+#include "tune/tuner.h"
+
+namespace igc::ops {
+namespace {
+
+// F(2x2, 3x3): output tile m = 2, input tile a = m + r - 1 = 4.
+//   Y = A^T [ (G g G^T) .* (B^T d B) ] A
+// with the classic matrices
+//   B^T = [1  0 -1  0;  0 1 1 0;  0 -1 1 0;  0 1 0 -1]
+//   G   = [1 0 0;  .5 .5 .5;  .5 -.5 .5;  0 0 1]
+//   A^T = [1 1 1 0;  0 1 -1 -1]
+
+/// U = G g G^T for one 3x3 filter -> 4x4.
+void filter_transform(const float g[9], float u[16]) {
+  float t[12];  // G * g : 4x3
+  for (int col = 0; col < 3; ++col) {
+    const float g0 = g[0 * 3 + col];
+    const float g1 = g[1 * 3 + col];
+    const float g2 = g[2 * 3 + col];
+    t[0 * 3 + col] = g0;
+    t[1 * 3 + col] = 0.5f * (g0 + g1 + g2);
+    t[2 * 3 + col] = 0.5f * (g0 - g1 + g2);
+    t[3 * 3 + col] = g2;
+  }
+  for (int row = 0; row < 4; ++row) {
+    const float t0 = t[row * 3 + 0];
+    const float t1 = t[row * 3 + 1];
+    const float t2 = t[row * 3 + 2];
+    u[row * 4 + 0] = t0;
+    u[row * 4 + 1] = 0.5f * (t0 + t1 + t2);
+    u[row * 4 + 2] = 0.5f * (t0 - t1 + t2);
+    u[row * 4 + 3] = t2;
+  }
+}
+
+/// V = B^T d B for one 4x4 input patch.
+void input_transform(const float d[16], float v[16]) {
+  float t[16];  // B^T * d
+  for (int col = 0; col < 4; ++col) {
+    const float d0 = d[0 * 4 + col];
+    const float d1 = d[1 * 4 + col];
+    const float d2 = d[2 * 4 + col];
+    const float d3 = d[3 * 4 + col];
+    t[0 * 4 + col] = d0 - d2;
+    t[1 * 4 + col] = d1 + d2;
+    t[2 * 4 + col] = d2 - d1;
+    t[3 * 4 + col] = d1 - d3;
+  }
+  for (int row = 0; row < 4; ++row) {
+    const float t0 = t[row * 4 + 0];
+    const float t1 = t[row * 4 + 1];
+    const float t2 = t[row * 4 + 2];
+    const float t3 = t[row * 4 + 3];
+    v[row * 4 + 0] = t0 - t2;
+    v[row * 4 + 1] = t1 + t2;
+    v[row * 4 + 2] = t2 - t1;
+    v[row * 4 + 3] = t1 - t3;
+  }
+}
+
+/// y (2x2) = A^T m A for one 4x4 elementwise product accumulation.
+void output_transform(const float m[16], float y[4]) {
+  float t[8];  // A^T * m : 2x4
+  for (int col = 0; col < 4; ++col) {
+    const float m0 = m[0 * 4 + col];
+    const float m1 = m[1 * 4 + col];
+    const float m2 = m[2 * 4 + col];
+    const float m3 = m[3 * 4 + col];
+    t[0 * 4 + col] = m0 + m1 + m2;
+    t[1 * 4 + col] = m1 - m2 - m3;
+  }
+  for (int row = 0; row < 2; ++row) {
+    const float t0 = t[row * 4 + 0];
+    const float t1 = t[row * 4 + 1];
+    const float t2 = t[row * 4 + 2];
+    const float t3 = t[row * 4 + 3];
+    y[row * 2 + 0] = t0 + t1 + t2;
+    y[row * 2 + 1] = t1 - t2 - t3;
+  }
+}
+
+}  // namespace
+
+bool winograd_applicable(const Conv2dParams& p) {
+  return p.kernel_h == 3 && p.kernel_w == 3 && p.stride_h == 1 &&
+         p.stride_w == 1 && p.groups == 1 && p.out_h() >= 2 && p.out_w() >= 2;
+}
+
+Tensor conv2d_winograd(const Tensor& input, const Tensor& weight,
+                       const Tensor* bias, const Conv2dParams& p) {
+  p.validate();
+  IGC_CHECK(winograd_applicable(p)) << "winograd needs 3x3 s1 non-grouped";
+  const int64_t oh = p.out_h();
+  const int64_t ow = p.out_w();
+  const int64_t tiles_y = (oh + 1) / 2;
+  const int64_t tiles_x = (ow + 1) / 2;
+  const int64_t ci = p.in_channels;
+  const int64_t co = p.out_channels;
+
+  // Filter transforms, once per (co, ci).
+  std::vector<float> u(static_cast<size_t>(co * ci * 16));
+  const float* wt = weight.data_f32();
+  for (int64_t ocic = 0; ocic < co * ci; ++ocic) {
+    filter_transform(wt + ocic * 9, u.data() + ocic * 16);
+  }
+
+  Tensor out = Tensor::zeros(Shape{p.batch, co, oh, ow});
+  const float* in = input.data_f32();
+  const float* bs = bias ? bias->data_f32() : nullptr;
+  float* o = out.data_f32();
+
+  ThreadPool::global().parallel_for(p.batch * co, [&](int64_t idx) {
+    const int64_t n = idx / co;
+    const int64_t oc = idx % co;
+    for (int64_t ty = 0; ty < tiles_y; ++ty) {
+      for (int64_t tx = 0; tx < tiles_x; ++tx) {
+        float acc[16] = {0};
+        for (int64_t c = 0; c < ci; ++c) {
+          // Gather the 4x4 input patch (with padding).
+          float d[16];
+          for (int dy = 0; dy < 4; ++dy) {
+            for (int dx = 0; dx < 4; ++dx) {
+              const int64_t iy = ty * 2 + dy - p.pad_h;
+              const int64_t ix = tx * 2 + dx - p.pad_w;
+              d[dy * 4 + dx] =
+                  (iy >= 0 && iy < p.in_h && ix >= 0 && ix < p.in_w)
+                      ? in[((n * ci + c) * p.in_h + iy) * p.in_w + ix]
+                      : 0.0f;
+            }
+          }
+          float v[16];
+          input_transform(d, v);
+          const float* uf = u.data() + (oc * ci + c) * 16;
+          for (int i = 0; i < 16; ++i) acc[i] += uf[i] * v[i];
+        }
+        float y[4];
+        output_transform(acc, y);
+        for (int dy = 0; dy < 2; ++dy) {
+          for (int dx = 0; dx < 2; ++dx) {
+            const int64_t oy = ty * 2 + dy;
+            const int64_t ox = tx * 2 + dx;
+            if (oy >= oh || ox >= ow) continue;
+            o[((n * co + oc) * oh + oy) * ow + ox] =
+                y[dy * 2 + dx] + (bs ? bs[oc] : 0.0f);
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+tune::ConfigSpace winograd_config_space(const Conv2dParams& p,
+                                        const sim::DeviceSpec& dev) {
+  IGC_CHECK(winograd_applicable(p));
+  tune::ConfigSpace space;
+  const int64_t cog = p.out_channels;
+  space.add_knob("tile_oc", tune::tile_candidates(cog, 32));
+  // Winograd tiles per work item (batched-GEMM blocking over tiles).
+  space.add_knob("tile_b", {1, 2, 4, 8});
+  space.add_knob("unroll", {1, 2, 4});
+  std::vector<int64_t> vec{1, 2, 4};
+  if (dev.simd_width >= 8) vec.push_back(8);
+  if (dev.simd_width >= 16) vec.push_back(16);
+  if (dev.simd_width >= 32) vec.push_back(32);
+  space.add_knob("vec", std::move(vec));
+  space.add_knob("wg", {32, 64, 128, 256});
+  space.add_knob("use_subgroup", dev.has_subgroups
+                                     ? std::vector<int64_t>{0, 1}
+                                     : std::vector<int64_t>{0});
+  return space;
+}
+
+sim::KernelLaunch winograd_kernel_cost(const Conv2dParams& p,
+                                       const tune::ScheduleConfig& cfg,
+                                       const sim::DeviceSpec& dev) {
+  IGC_CHECK(winograd_applicable(p));
+  const int64_t tile_oc = cfg.at("tile_oc");
+  const int64_t tile_b = cfg.at("tile_b");
+  const int64_t vec = cfg.at("vec");
+  const int64_t wg = cfg.at("wg");
+  const bool use_subgroup = cfg.get_or("use_subgroup", 0) != 0;
+
+  const int64_t tiles =
+      p.batch * ((p.out_h() + 1) / 2) * ((p.out_w() + 1) / 2);
+  const int64_t ci = p.in_channels;
+  const int64_t co = p.out_channels;
+
+  sim::KernelLaunch k;
+  k.name = p.workload_key() + "_winograd";
+  // 4 stages: input transform (32 flops / channel-tile), 16 batched GEMMs of
+  // (tiles x ci) * (ci x co), output transform (24 flops), filter transform
+  // amortized (once per model load, not charged per inference).
+  const int64_t gemm_flops = 2 * 16 * tiles * ci * co;
+  const int64_t transform_flops = tiles * ci * 32 + tiles * co * 24;
+  k.flops = gemm_flops + transform_flops;
+
+  const int64_t oc_blocks = (co + tile_oc - 1) / tile_oc;
+  const int64_t tile_blocks = (tiles + tile_b - 1) / tile_b;
+  k.work_items = oc_blocks * tile_blocks;
+  k.work_group_size = static_cast<int>(std::min<int64_t>(wg, k.work_items));
+
+  // GEMM-style efficiency: vectorization + blocking, no reduction shortage
+  // (the reduction is ci, usually large where winograd applies).
+  const double vmatch =
+      static_cast<double>(std::min<int64_t>(vec, dev.simd_width)) /
+      static_cast<double>(dev.simd_width);
+  const double eff_vec = 0.30 + 0.70 * vmatch;
+  const double work = static_cast<double>(tile_oc * tile_b);
+  double eff_tile = work / (work + 6.0);
+  // The 16-tap accumulators are register hungry: spill if the tile is big.
+  const int64_t reg_bytes = 4 * 16 * tile_oc * tile_b;
+  int64_t reg_budget = dev.register_bytes_per_thread;
+  if (!use_subgroup && dev.has_subgroups) reg_budget /= dev.simd_width;
+  if (reg_bytes > reg_budget) eff_tile *= 0.4;
+  double eff = eff_vec * eff_tile;
+  if (use_subgroup) eff *= (tile_oc >= 4) ? 1.25 : 1.0;
+  if (!dev.has_shared_local_mem) {
+    // The batched GEMM leans on shared local memory for the V tiles; Mali
+    // Midgard must round-trip through cache instead.
+    eff *= 0.72;
+  }
+  k.compute_efficiency = std::min(eff, 1.0);
+
+  // Memory: transformed input (16/4 = 4x inflation over the raw input),
+  // transformed weights, transformed output.
+  const int64_t v_bytes = 4 * tiles * ci * 16;
+  const int64_t u_bytes = 4 * co * ci * 16;
+  const int64_t m_bytes = 4 * tiles * co * 16;
+  k.dram_read_bytes = v_bytes + u_bytes;
+  k.dram_write_bytes = m_bytes / 4;  // output transform fuses the store
+  k.num_global_syncs = 2;            // between the stages
+  return k;
+}
+
+double winograd_latency_ms(const Conv2dParams& p,
+                           const tune::ScheduleConfig& cfg,
+                           const sim::DeviceSpec& dev) {
+  return sim::estimate_latency_ms(dev, winograd_kernel_cost(p, cfg, dev));
+}
+
+AlgorithmChoice conv2d_best_algorithm(const Conv2dParams& p,
+                                      const sim::DeviceSpec& dev,
+                                      const tune::TuneOptions& opts) {
+  AlgorithmChoice choice;
+  const tune::MeasureFn direct_measure = [&](const tune::ScheduleConfig& cfg) {
+    return conv2d_latency_ms(p, cfg, dev);
+  };
+  choice.direct_ms =
+      tune::tune(conv2d_config_space(p, dev), direct_measure, opts).best_ms;
+  if (!winograd_applicable(p)) {
+    choice.winograd_ms = std::numeric_limits<double>::infinity();
+    return choice;
+  }
+  const tune::MeasureFn wino_measure = [&](const tune::ScheduleConfig& cfg) {
+    return winograd_latency_ms(p, cfg, dev);
+  };
+  choice.winograd_ms =
+      tune::tune(winograd_config_space(p, dev), wino_measure, opts).best_ms;
+  if (choice.winograd_ms < choice.direct_ms) {
+    choice.algorithm = ConvAlgorithm::kWinograd;
+  }
+  return choice;
+}
+
+}  // namespace igc::ops

@@ -1,0 +1,55 @@
+// Winograd F(2x2, 3x3) convolution — the alternative main template the
+// paper's pipeline switches to "whenever there is a headroom for performance
+// improvement" (Sec. 3.2.2). For unit-stride 3x3 convolutions, Winograd
+// replaces the 9 multiply-adds per output with 4 at the price of input /
+// weight / output transforms, which pays off on wide-channel layers but
+// loses on narrow or memory-bound ones — exactly the trade-off the tuner
+// arbitrates (see ops::conv2d_best_algorithm).
+#pragma once
+
+#include "sim/device_spec.h"
+#include "sim/timing_model.h"
+#include "ops/nn/conv2d.h"
+#include "tensor/tensor.h"
+#include "tune/config.h"
+#include "tune/tuner.h"
+
+namespace igc::ops {
+
+/// True when this workload can run the F(2x2,3x3) kernel: 3x3, stride 1,
+/// non-grouped.
+bool winograd_applicable(const Conv2dParams& p);
+
+/// Functional Winograd convolution; numerically equivalent to
+/// conv2d_reference up to fp reassociation (~1e-4 for unit-scale data).
+Tensor conv2d_winograd(const Tensor& input, const Tensor& weight,
+                       const Tensor* bias, const Conv2dParams& p);
+
+/// Schedule knobs for the Winograd kernel (tile counts per work item and
+/// vectorization of the batched-GEMM stage).
+tune::ConfigSpace winograd_config_space(const Conv2dParams& p,
+                                        const sim::DeviceSpec& dev);
+
+/// Analytic cost (all four stages: input transform, filter transform —
+/// amortized, batched GEMM over the 16 tap matrices, output transform).
+sim::KernelLaunch winograd_kernel_cost(const Conv2dParams& p,
+                                       const tune::ScheduleConfig& cfg,
+                                       const sim::DeviceSpec& dev);
+
+double winograd_latency_ms(const Conv2dParams& p,
+                           const tune::ScheduleConfig& cfg,
+                           const sim::DeviceSpec& dev);
+
+/// Which algorithm the tuned stack would pick for a workload on a device:
+/// compares the tuned direct template against the tuned Winograd template.
+enum class ConvAlgorithm { kDirect, kWinograd };
+struct AlgorithmChoice {
+  ConvAlgorithm algorithm = ConvAlgorithm::kDirect;
+  double direct_ms = 0.0;
+  double winograd_ms = 0.0;  // +inf when not applicable
+};
+AlgorithmChoice conv2d_best_algorithm(const Conv2dParams& p,
+                                      const sim::DeviceSpec& dev,
+                                      const tune::TuneOptions& opts);
+
+}  // namespace igc::ops

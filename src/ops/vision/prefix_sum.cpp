@@ -1,0 +1,146 @@
+#include "ops/vision/prefix_sum.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace igc::ops {
+
+std::vector<float> prefix_sum_reference(const std::vector<float>& input) {
+  std::vector<float> out(input.size());
+  float acc = 0.0f;
+  for (size_t i = 0; i < input.size(); ++i) {
+    acc += input[i];
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::vector<float> prefix_sum_gpu(sim::GpuSimulator& gpu,
+                                  const std::vector<float>& input,
+                                  int processors) {
+  const int64_t n = static_cast<int64_t>(input.size());
+  if (n == 0) return {};
+  if (processors <= 0) {
+    processors = static_cast<int>(
+        std::min<int64_t>(gpu.device().total_hw_threads(), n));
+  }
+  const int64_t p = std::max<int64_t>(1, std::min<int64_t>(processors, n));
+  const int64_t chunk = (n + p - 1) / p;
+
+  std::vector<float> out(input.size());
+  std::vector<float> partials(static_cast<size_t>(p), 0.0f);
+
+  // Stage 1: up-sweep. Each processor scans its chunk sequentially in
+  // registers; the chunk total lands in `partials`.
+  {
+    sim::KernelLaunch cost;
+    cost.name = "scan_upsweep";
+    cost.flops = n;
+    cost.dram_read_bytes = 4 * n;
+    cost.dram_write_bytes = 4 * (n + p);
+    gpu.launch(
+        p, 1,
+        [&](const sim::WorkItem& item) {
+          const int64_t lo = item.group_id * chunk;
+          const int64_t hi = std::min<int64_t>(n, lo + chunk);
+          float acc = 0.0f;
+          for (int64_t i = lo; i < hi; ++i) {
+            acc += input[static_cast<size_t>(i)];
+            out[static_cast<size_t>(i)] = acc;
+          }
+          if (lo < hi) partials[static_cast<size_t>(item.group_id)] = acc;
+        },
+        std::move(cost));
+  }
+
+  // Stage 2: Hillis-Steele scan over the p partials. p is at most the
+  // device thread count, so one cooperative group covers it — log2(p)
+  // passes with only work-group barriers, no global synchronization.
+  {
+    const int passes =
+        p > 1 ? static_cast<int>(std::ceil(std::log2(static_cast<double>(p)))) : 0;
+    sim::KernelLaunch cost;
+    cost.name = "scan_partials";
+    cost.flops = p * std::max(passes, 1);
+    cost.dram_read_bytes = 4 * p;
+    cost.dram_write_bytes = 4 * p;
+    // Functionally: exclusive scan of partials, done as the classic
+    // pass-doubling loop to mirror the device algorithm (Fig. 3 "Scan").
+    gpu.launch(
+        1, 1,
+        [&](const sim::WorkItem&) {
+          std::vector<float> cur(partials);
+          for (int64_t d = 1; d < p; d *= 2) {
+            std::vector<float> next(cur);
+            for (int64_t i = 0; i < p; ++i) {
+              if (i >= d) {
+                next[static_cast<size_t>(i)] =
+                    cur[static_cast<size_t>(i)] + cur[static_cast<size_t>(i - d)];
+              }
+            }
+            cur.swap(next);
+          }
+          // Convert inclusive scan of totals into per-chunk offsets.
+          for (int64_t i = p - 1; i >= 1; --i) {
+            partials[static_cast<size_t>(i)] = cur[static_cast<size_t>(i - 1)];
+          }
+          if (p > 0) partials[0] = 0.0f;
+        },
+        std::move(cost));
+  }
+
+  // Stage 3: down-sweep. Each processor adds its offset, in parallel.
+  {
+    sim::KernelLaunch cost;
+    cost.name = "scan_downsweep";
+    cost.flops = n;
+    cost.dram_read_bytes = 4 * (n + p);
+    cost.dram_write_bytes = 4 * n;
+    gpu.launch(
+        p, 1,
+        [&](const sim::WorkItem& item) {
+          const int64_t lo = item.group_id * chunk;
+          const int64_t hi = std::min<int64_t>(n, lo + chunk);
+          const float off = partials[static_cast<size_t>(item.group_id)];
+          for (int64_t i = lo; i < hi; ++i) {
+            out[static_cast<size_t>(i)] += off;
+          }
+        },
+        std::move(cost));
+  }
+  return out;
+}
+
+std::vector<float> prefix_sum_gpu_naive(sim::GpuSimulator& gpu,
+                                        const std::vector<float>& input) {
+  const int64_t n = static_cast<int64_t>(input.size());
+  if (n == 0) return {};
+  std::vector<float> cur(input);
+  std::vector<float> next(input.size());
+  // One kernel launch per pass: every pass reads and writes the whole array
+  // and requires a device-wide barrier before the next.
+  for (int64_t d = 1; d < n; d *= 2) {
+    sim::KernelLaunch cost;
+    cost.name = "scan_naive_pass";
+    cost.flops = n;
+    cost.dram_read_bytes = 8 * n;
+    cost.dram_write_bytes = 4 * n;
+    cost.num_global_syncs = 1;
+    gpu.launch(
+        (n + 63) / 64, 64,
+        [&](const sim::WorkItem& item) {
+          const int64_t i = item.global_id();
+          if (i >= n) return;
+          next[static_cast<size_t>(i)] =
+              i >= d ? cur[static_cast<size_t>(i)] + cur[static_cast<size_t>(i - d)]
+                     : cur[static_cast<size_t>(i)];
+        },
+        std::move(cost));
+    cur.swap(next);
+  }
+  return cur;
+}
+
+}  // namespace igc::ops

@@ -1,0 +1,40 @@
+// Prefix sum (scan) for integrated GPUs — Sec. 3.1.1, Fig. 3.
+//
+// The optimized version is the paper's three-stage algorithm:
+//   1. up-sweep:   register blocking assigns a contiguous chunk to each
+//                  processor, which scans it sequentially (one launch);
+//   2. scan:       Hillis-Steele parallel scan over the per-chunk totals
+//                  (log P passes, but across only P elements so a single
+//                  work-group handles it without global synchronization);
+//   3. down-sweep: each processor adds its chunk's offset (one launch).
+// Latency drops from O(n) to O(n/P + log P) with only the launch boundaries
+// as synchronization.
+//
+// The naive version applies Hillis-Steele directly over all n elements,
+// requiring log2(n) *global* synchronizations (one kernel per pass) — the
+// "simply applying the previously mentioned method is inefficient" strawman
+// the paper improves upon. Both are exposed for the Fig. 3 benchmark.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace igc::ops {
+
+/// Inclusive scan, reference (sequential host).
+std::vector<float> prefix_sum_reference(const std::vector<float>& input);
+
+/// Inclusive scan with the three-stage register-blocking algorithm.
+/// `processors` defaults to the device's total hardware thread count.
+std::vector<float> prefix_sum_gpu(sim::GpuSimulator& gpu,
+                                  const std::vector<float>& input,
+                                  int processors = 0);
+
+/// Inclusive scan with plain Hillis-Steele over all elements (log n global
+/// syncs). Functionally identical; much slower on the simulated clock.
+std::vector<float> prefix_sum_gpu_naive(sim::GpuSimulator& gpu,
+                                        const std::vector<float>& input);
+
+}  // namespace igc::ops

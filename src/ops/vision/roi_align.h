@@ -1,0 +1,30 @@
+// ROIAlign — listed in Sec. 3.1.1 among the vision-specific operators that
+// vendor libraries either skip or run poorly on integrated GPUs. Bilinear
+// sampling over regions of interest, as introduced by Mask R-CNN.
+#pragma once
+
+#include "sim/simulator.h"
+#include "tensor/tensor.h"
+
+namespace igc::ops {
+
+struct RoiAlignParams {
+  int64_t pooled_h = 7;
+  int64_t pooled_w = 7;
+  /// Sampling points per output bin per axis (<=0: adaptive ceil(roi/bin)).
+  int64_t sampling_ratio = 2;
+  /// Scale from ROI coordinates to feature-map coordinates.
+  float spatial_scale = 1.0f;
+};
+
+/// features: (B, C, H, W); rois: (R, 5) rows [batch_idx, x1, y1, x2, y2] in
+/// un-scaled coordinates. Returns (R, C, pooled_h, pooled_w).
+Tensor roi_align_reference(const Tensor& features, const Tensor& rois,
+                           const RoiAlignParams& p);
+
+/// GPU mapping: one work item per output element; all bins sample the same
+/// number of points, so lanes never diverge.
+Tensor roi_align_gpu(sim::GpuSimulator& gpu, const Tensor& features,
+                     const Tensor& rois, const RoiAlignParams& p);
+
+}  // namespace igc::ops

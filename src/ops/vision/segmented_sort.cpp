@@ -1,0 +1,193 @@
+#include "ops/vision/segmented_sort.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/error.h"
+#include "core/thread_pool.h"
+
+namespace igc::ops {
+namespace {
+
+/// Ascending/descending comparator over values with index tie-break, so the
+/// result is deterministic and matches the stable reference.
+struct IdxCmp {
+  const float* v;
+  bool descending;
+  bool operator()(int32_t a, int32_t b) const {
+    const float va = v[a];
+    const float vb = v[b];
+    if (va != vb) return descending ? va > vb : va < vb;
+    return a < b;
+  }
+};
+
+/// Index of the segment containing flat position `pos`.
+int64_t segment_of(const Segments& segs, int64_t pos) {
+  auto it = std::upper_bound(segs.offsets.begin(), segs.offsets.end(), pos);
+  return static_cast<int64_t>(it - segs.offsets.begin()) - 1;
+}
+
+}  // namespace
+
+void Segments::validate(int64_t n) const {
+  IGC_CHECK_GE(num_segments(), 0);
+  IGC_CHECK(!offsets.empty());
+  IGC_CHECK_EQ(offsets.front(), 0);
+  IGC_CHECK_EQ(offsets.back(), n);
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    IGC_CHECK_LE(offsets[i - 1], offsets[i]) << "offsets must be nondecreasing";
+  }
+}
+
+std::vector<int32_t> segmented_argsort_reference(const std::vector<float>& values,
+                                                 const Segments& segs,
+                                                 bool descending) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  segs.validate(n);
+  std::vector<int32_t> idx(values.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  for (int64_t s = 0; s < segs.num_segments(); ++s) {
+    std::stable_sort(idx.begin() + segs.offsets[static_cast<size_t>(s)],
+                     idx.begin() + segs.offsets[static_cast<size_t>(s) + 1],
+                     IdxCmp{values.data(), descending});
+  }
+  return idx;
+}
+
+std::vector<int32_t> segmented_argsort_gpu(sim::GpuSimulator& gpu,
+                                           const std::vector<float>& values,
+                                           const Segments& segs,
+                                           bool descending, int64_t block_size) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  segs.validate(n);
+  if (n == 0) return {};
+
+  if (block_size <= 0) {
+    // Enough blocks to fill every hardware thread, but at least 64 elements
+    // per block so the local sort amortizes.
+    const int64_t target_blocks = std::max<int64_t>(gpu.device().total_hw_threads(), 1);
+    block_size = std::max<int64_t>(64, (n + target_blocks - 1) / target_blocks);
+  }
+  const int64_t num_blocks = (n + block_size - 1) / block_size;
+
+  std::vector<int32_t> idx(values.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  const IdxCmp cmp{values.data(), descending};
+
+  // ---- Stage 1: block sort. Each block sorts the pieces of segments that
+  // intersect it (equal-size blocks: load is balanced by construction).
+  {
+    sim::KernelLaunch cost;
+    cost.name = "segsort_block_sort";
+    const double logb = std::log2(static_cast<double>(std::max<int64_t>(block_size, 2)));
+    cost.flops = static_cast<int64_t>(4.0 * static_cast<double>(n) * logb);
+    cost.dram_read_bytes = 8 * n;
+    cost.dram_write_bytes = 4 * n;
+    gpu.launch(
+        num_blocks, 1,
+        [&](const sim::WorkItem& item) {
+          const int64_t lo = item.group_id * block_size;
+          const int64_t hi = std::min<int64_t>(n, lo + block_size);
+          int64_t pos = lo;
+          while (pos < hi) {
+            const int64_t seg = segment_of(segs, pos);
+            const int64_t piece_end =
+                std::min<int64_t>(hi, segs.offsets[static_cast<size_t>(seg) + 1]);
+            std::sort(idx.begin() + pos, idx.begin() + piece_end, cmp);
+            pos = piece_end;
+          }
+        },
+        std::move(cost));
+  }
+
+  // ---- Stage 2: cooperative merge rounds (coop 2, 4, 8, ...). Each round
+  // doubles the sorted-run width; only the segment spanning each active
+  // interface is merged (red vertical lines in Fig. 2).
+  for (int64_t width = block_size; width < n; width *= 2) {
+    // Collect the interfaces of this round and the spanning pieces, to both
+    // charge an accurate cost and drive the functional merge.
+    struct MergeJob {
+      int64_t left_lo, mid, right_hi;
+    };
+    std::vector<MergeJob> jobs;
+    int64_t merged_elems = 0;
+    for (int64_t lo = 0; lo + width < n; lo += 2 * width) {
+      const int64_t mid = lo + width;
+      const int64_t hi = std::min<int64_t>(n, lo + 2 * width);
+      // The single segment spanning the interface at `mid` (if the segment
+      // boundary coincides with the interface, nothing to do).
+      const int64_t seg = segment_of(segs, mid);
+      const int64_t seg_lo = segs.offsets[static_cast<size_t>(seg)];
+      if (seg_lo == mid) continue;
+      const int64_t seg_hi = segs.offsets[static_cast<size_t>(seg) + 1];
+      const int64_t left_lo = std::max<int64_t>(seg_lo, lo);
+      const int64_t right_hi = std::min<int64_t>(seg_hi, hi);
+      jobs.push_back({left_lo, mid, right_hi});
+      merged_elems += right_hi - left_lo;
+    }
+    sim::KernelLaunch cost;
+    cost.name = "segsort_merge_coop" + std::to_string(2 * width / block_size);
+    cost.flops = 4 * std::max<int64_t>(merged_elems, 1);
+    cost.dram_read_bytes = 8 * std::max<int64_t>(merged_elems, 1);
+    cost.dram_write_bytes = 4 * std::max<int64_t>(merged_elems, 1);
+    cost.num_global_syncs = 1;
+    if (jobs.empty()) {
+      // Still a kernel boundary: the round happens even if no segment spans
+      // an interface.
+      gpu.clock().charge(gpu.device(), cost);
+      continue;
+    }
+    gpu.launch(
+        static_cast<int64_t>(jobs.size()), 1,
+        [&](const sim::WorkItem& item) {
+          const MergeJob& j = jobs[static_cast<size_t>(item.group_id)];
+          std::inplace_merge(idx.begin() + j.left_lo, idx.begin() + j.mid,
+                             idx.begin() + j.right_hi, cmp);
+        },
+        std::move(cost));
+  }
+  return idx;
+}
+
+std::vector<int32_t> segmented_argsort_gpu_naive(sim::GpuSimulator& gpu,
+                                                 const std::vector<float>& values,
+                                                 const Segments& segs,
+                                                 bool descending) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  segs.validate(n);
+  if (n == 0) return {};
+  std::vector<int32_t> idx(values.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  const IdxCmp cmp{values.data(), descending};
+
+  // One work item per segment: the kernel's latency is gated by the longest
+  // segment, executed by a single lane running serial comparison-and-swap
+  // code with uncoalesced, data-dependent accesses. Shorter lanes idle
+  // (branch divergence + load imbalance) — the paper's motivating problem.
+  const int64_t num_segs = std::max<int64_t>(segs.num_segments(), 1);
+  auto seg_work = [&](int64_t s) {
+    const double len = static_cast<double>(segs.offsets[static_cast<size_t>(s) + 1] -
+                                           segs.offsets[static_cast<size_t>(s)]);
+    return len <= 1.0 ? 0.0 : len * std::log2(len);
+  };
+  double max_work = 0.0;
+  for (int64_t s = 0; s < segs.num_segments(); ++s) {
+    max_work = std::max(max_work, seg_work(s));
+  }
+  // ~4 dependent scalar ops per comparison, at the single-lane serial rate.
+  const double serial_flops = 4.0 * std::max(max_work, 1.0);
+  const double ms =
+      serial_flops / (gpu.device().serial_lane_mflops * 1e6) * 1e3 +
+      gpu.device().kernel_launch_us * 1e-3;
+  gpu.clock().charge_fixed(ms, "segsort_naive_per_segment");
+  ThreadPool::global().parallel_for(num_segs, [&](int64_t s) {
+    if (s >= segs.num_segments()) return;
+    std::sort(idx.begin() + segs.offsets[static_cast<size_t>(s)],
+              idx.begin() + segs.offsets[static_cast<size_t>(s) + 1], cmp);
+  });
+  return idx;
+}
+
+}  // namespace igc::ops

@@ -1,0 +1,59 @@
+// Segmented argsort for integrated GPUs — Sec. 3.1.1, Fig. 2.
+//
+// The NMS operator sorts many small, variable-length segments (one per
+// (batch, class)). Sorting each segment with its own thread causes severe
+// load imbalance and branch divergence. The paper's algorithm:
+//   1. flatten all segments into one array, remembering segment starts;
+//   2. chop the flat array into equal-size blocks (load balancing);
+//   3. block sort: each thread block sorts the *pieces* of segments that
+//      intersect its block;
+//   4. cooperative merge rounds: coop=2, 4, 8, ... double the sorted-run
+//      width each round; only segments spanning the active interface
+//      between two runs are merged.
+// Every round is one kernel launch (a device-wide synchronization), so the
+// number of global syncs is log2(#blocks) instead of per-element.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace igc::ops {
+
+/// Segment boundaries over a flat array: segment s covers
+/// [offsets[s], offsets[s+1]). offsets.front() == 0,
+/// offsets.back() == values.size().
+struct Segments {
+  std::vector<int64_t> offsets;
+
+  int64_t num_segments() const {
+    return static_cast<int64_t>(offsets.size()) - 1;
+  }
+  void validate(int64_t n) const;
+};
+
+/// Reference: per-segment stable argsort (ascending). Returns global indices
+/// grouped by segment: out[offsets[s]..offsets[s+1]) are the positions of
+/// segment s's elements in ascending value order.
+std::vector<int32_t> segmented_argsort_reference(
+    const std::vector<float>& values, const Segments& segs, bool descending = false);
+
+/// The paper's optimized segmented sort (Fig. 2), executed on the simulator.
+/// `block_size` 0 chooses a size that fills the device.
+std::vector<int32_t> segmented_argsort_gpu(sim::GpuSimulator& gpu,
+                                           const std::vector<float>& values,
+                                           const Segments& segs,
+                                           bool descending = false,
+                                           int64_t block_size = 0);
+
+/// Naive GPU mapping: one work item sorts one whole segment. Functionally
+/// identical; the simulated clock pays for the load imbalance (latency is
+/// set by the longest segment) and the poor occupancy. This is what runs in
+/// the "Before" column of Table 4.
+std::vector<int32_t> segmented_argsort_gpu_naive(sim::GpuSimulator& gpu,
+                                                 const std::vector<float>& values,
+                                                 const Segments& segs,
+                                                 bool descending = false);
+
+}  // namespace igc::ops

@@ -1,0 +1,31 @@
+// YOLOv3 detection-head decode (Sec. 4: Yolov3 is one of the evaluated
+// object-detection models). Transforms a raw head tensor into scored boxes
+// ready for box_nms.
+#pragma once
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "tensor/tensor.h"
+
+namespace igc::ops {
+
+struct YoloDecodeParams {
+  int64_t num_classes = 80;
+  /// Anchor (w, h) pairs in pixels for this head.
+  std::vector<std::pair<float, float>> anchors;
+  /// Network input resolution (pixels); boxes are emitted normalized.
+  int64_t input_size = 416;
+  float conf_thresh = 0.01f;
+};
+
+/// head: (B, A*(5+num_classes), H, W) raw activations. Returns (B, H*W*A, 6)
+/// rows [class_id, score, x1, y1, x2, y2], normalized coordinates; entries
+/// below conf_thresh are invalid (-1).
+Tensor yolo_decode_reference(const Tensor& head, const YoloDecodeParams& p);
+
+/// GPU mapping: one work item per (cell, anchor), fully parallel.
+Tensor yolo_decode_gpu(sim::GpuSimulator& gpu, const Tensor& head,
+                       const YoloDecodeParams& p);
+
+}  // namespace igc::ops

@@ -1,0 +1,56 @@
+// Simulated clock: accumulates the latency of every kernel launch and copy,
+// and keeps a per-event trace for the benchmark reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/device_spec.h"
+#include "sim/timing_model.h"
+
+namespace igc::sim {
+
+struct ClockEvent {
+  std::string name;
+  double ms = 0.0;
+};
+
+class SimClock {
+ public:
+  /// Charges the latency of `k` on `dev` and records a trace event.
+  double charge(const DeviceSpec& dev, const KernelLaunch& k) {
+    const double ms = estimate_latency_ms(dev, k);
+    total_ms_ += ms;
+    events_.push_back({k.name, ms});
+    return ms;
+  }
+
+  /// Charges a host<->device copy.
+  double charge_copy(const DeviceSpec& dev, int64_t bytes,
+                     const std::string& name = "device_copy") {
+    const double ms = copy_latency_ms(dev, bytes);
+    total_ms_ += ms;
+    events_.push_back({name, ms});
+    return ms;
+  }
+
+  /// Charges a fixed amount (used by CPU-side sequential sections).
+  void charge_fixed(double ms, const std::string& name) {
+    total_ms_ += ms;
+    events_.push_back({name, ms});
+  }
+
+  double total_ms() const { return total_ms_; }
+  const std::vector<ClockEvent>& events() const { return events_; }
+  void reset() {
+    total_ms_ = 0.0;
+    events_.clear();
+  }
+
+ private:
+  double total_ms_ = 0.0;
+  std::vector<ClockEvent> events_;
+};
+
+}  // namespace igc::sim

@@ -1,0 +1,154 @@
+#include "sim/device_spec.h"
+
+namespace igc::sim {
+namespace {
+
+DeviceSpec intel_hd505() {
+  DeviceSpec d;
+  d.name = "intel-hd505";
+  d.vendor = Vendor::kIntel;
+  d.api = DeviceApi::kOpenCL;
+  d.compute_units = 18;        // 18 EUs (Gen9 GT1)
+  d.simd_width = 8;            // 2x SIMD-4 FPUs, fused as SIMD-8 fp32
+  d.hw_threads_per_cu = 7;     // 7 hardware threads per EU
+  d.has_subgroups = true;      // Intel OpenCL subgroup extension
+  d.has_shared_local_mem = true;
+  d.register_bytes_per_thread = 4096;  // 4KB GRF per hardware thread
+  d.clock_ghz = 0.70;
+  d.peak_gflops = 201.6;       // 18 EU * 8 lanes * 2 (FMA) * 0.7 GHz
+  d.dram_bandwidth_gbps = 12.8;  // LPDDR4 shared with CPU
+  d.kernel_launch_us = 35.0;
+  d.global_sync_us = 40.0;
+  d.efficiency_scale = 0.26;
+  d.serial_lane_mflops = 3.5;
+  return d;
+}
+
+DeviceSpec atom_e3930() {
+  DeviceSpec d;
+  d.name = "atom-x5-e3930";
+  d.vendor = Vendor::kIntelCpu;
+  d.api = DeviceApi::kCpu;
+  d.is_gpu = false;
+  d.compute_units = 2;   // 2 Goldmont cores
+  d.simd_width = 4;      // SSE4 fp32
+  d.hw_threads_per_cu = 1;
+  d.has_subgroups = false;
+  d.register_bytes_per_thread = 2048;
+  d.clock_ghz = 1.3;
+  d.peak_gflops = 39.0;  // 5.16x below the GPU, matching the paper's ratio
+  d.dram_bandwidth_gbps = 12.8;
+  d.kernel_launch_us = 2.0;
+  d.global_sync_us = 1.0;
+  d.efficiency_scale = 0.40;
+  return d;
+}
+
+DeviceSpec mali_t860() {
+  DeviceSpec d;
+  d.name = "mali-t860mp4";
+  d.vendor = Vendor::kArmMali;
+  d.api = DeviceApi::kOpenCL;
+  d.compute_units = 4;    // 4 shader cores (MP4, Midgard 4th gen)
+  d.simd_width = 4;       // vec4 ALUs
+  d.hw_threads_per_cu = 8;
+  d.has_subgroups = false;
+  d.has_shared_local_mem = false;  // Midgard has no dedicated SLM
+  d.register_bytes_per_thread = 1024;
+  d.clock_ghz = 0.65;
+  d.peak_gflops = 83.2;  // 4 cores * 2 pipes * vec4 * FMA * 0.65 GHz
+  d.dram_bandwidth_gbps = 9.6;
+  d.kernel_launch_us = 60.0;   // Midgard job-manager dispatch is slow
+  d.global_sync_us = 80.0;
+  d.efficiency_scale = 0.34;
+  d.serial_lane_mflops = 0.85;
+  return d;
+}
+
+DeviceSpec rk3399_cpu() {
+  DeviceSpec d;
+  d.name = "rk3399-a72";
+  d.vendor = Vendor::kArmCpu;
+  d.api = DeviceApi::kCpu;
+  d.is_gpu = false;
+  d.compute_units = 2;  // the 2 big A72 cores dominate
+  d.simd_width = 4;     // NEON fp32
+  d.hw_threads_per_cu = 1;
+  d.register_bytes_per_thread = 2048;
+  d.clock_ghz = 1.8;
+  d.peak_gflops = 12.3;  // 6.77x below the GPU, matching the paper's ratio
+  d.dram_bandwidth_gbps = 9.6;
+  d.kernel_launch_us = 2.0;
+  d.global_sync_us = 1.0;
+  d.efficiency_scale = 0.45;
+  return d;
+}
+
+DeviceSpec nano_maxwell() {
+  DeviceSpec d;
+  d.name = "nano-maxwell";
+  d.vendor = Vendor::kNvidia;
+  d.api = DeviceApi::kCuda;
+  d.compute_units = 1;      // 1 SM with 128 CUDA cores
+  d.simd_width = 32;        // warp
+  d.hw_threads_per_cu = 64; // resident warps per SM (Maxwell: 64)
+  d.has_subgroups = false;  // warp shuffle exists but we model CUDA natively
+  d.has_shared_local_mem = true;
+  d.register_bytes_per_thread = 1024;
+  d.clock_ghz = 0.92;
+  d.peak_gflops = 235.8;  // 128 cores * 2 (FMA) * 0.921 GHz
+  d.dram_bandwidth_gbps = 25.6;
+  d.kernel_launch_us = 15.0;
+  d.global_sync_us = 20.0;
+  d.efficiency_scale = 0.45;  // CUDA toolchain reaches a higher fraction of peak
+  d.serial_lane_mflops = 11.0;
+  return d;
+}
+
+DeviceSpec nano_a57() {
+  DeviceSpec d;
+  d.name = "nano-a57";
+  d.vendor = Vendor::kArmCpu;
+  d.api = DeviceApi::kCpu;
+  d.is_gpu = false;
+  d.compute_units = 4;
+  d.simd_width = 4;
+  d.hw_threads_per_cu = 1;
+  d.register_bytes_per_thread = 2048;
+  d.clock_ghz = 1.43;
+  d.peak_gflops = 95.1;  // 2.48x below the GPU, matching the paper's ratio
+  d.dram_bandwidth_gbps = 25.6;
+  d.kernel_launch_us = 2.0;
+  d.global_sync_us = 1.0;
+  d.efficiency_scale = 0.35;
+  return d;
+}
+
+std::vector<Platform> make_platforms() {
+  return {
+      Platform{"aws-deeplens", intel_hd505(), atom_e3930()},
+      Platform{"acer-aisage", mali_t860(), rk3399_cpu()},
+      Platform{"jetson-nano", nano_maxwell(), nano_a57()},
+  };
+}
+
+}  // namespace
+
+const std::vector<Platform>& all_platforms() {
+  static const std::vector<Platform> platforms = make_platforms();
+  return platforms;
+}
+
+const Platform& platform(PlatformId id) {
+  return all_platforms()[static_cast<size_t>(id)];
+}
+
+const Platform& platform_by_name(std::string_view name) {
+  for (const Platform& p : all_platforms()) {
+    if (p.name == name) return p;
+  }
+  IGC_CHECK(false) << "unknown platform: " << name;
+  throw Error("unreachable");
+}
+
+}  // namespace igc::sim

@@ -1,0 +1,84 @@
+// Device models for the simulated integrated GPUs and their companion CPUs.
+//
+// The paper evaluates on three edge platforms:
+//   * AWS DeepLens   — Intel Atom x5-E3930 + Intel HD Graphics 505 (Gen9)
+//   * Acer aiSage    — Rockchip RK3399 (2xA72+4xA53) + ARM Mali T-860 MP4
+//   * Jetson Nano    — 4x Cortex-A57 + 128-core Maxwell GPU
+//
+// Each DeviceSpec captures the microarchitectural parameters the paper's
+// optimizations interact with: compute-unit count, SIMD width, hardware
+// threads, subgroup support (Intel only), shared local memory (absent on
+// Mali Midgard), register file budget, clock, DRAM bandwidth, and kernel
+// launch / global synchronization overheads.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/error.h"
+
+namespace igc::sim {
+
+/// Programming interface exposed by a device; selects the codegen backend.
+enum class DeviceApi { kOpenCL, kCuda, kCpu };
+
+enum class Vendor { kIntel, kArmMali, kNvidia, kIntelCpu, kArmCpu };
+
+struct DeviceSpec {
+  std::string name;
+  Vendor vendor = Vendor::kIntel;
+  DeviceApi api = DeviceApi::kOpenCL;
+  bool is_gpu = true;
+
+  /// Execution units (Intel), shader cores (Mali), or SMs (Nvidia).
+  int compute_units = 1;
+  /// Native SIMD lanes per hardware thread (warp width on Nvidia).
+  int simd_width = 8;
+  /// Hardware threads resident per compute unit.
+  int hw_threads_per_cu = 1;
+  /// Intel subgroup extension: work items of one hardware thread share GRFs.
+  bool has_subgroups = false;
+  /// Shared local memory per work-group (absent on Mali Midgard).
+  bool has_shared_local_mem = true;
+  /// Register file bytes available to one hardware thread (Intel GRF: 4KB).
+  int register_bytes_per_thread = 1024;
+
+  double clock_ghz = 1.0;
+  double peak_gflops = 100.0;
+  double dram_bandwidth_gbps = 10.0;
+  /// Fixed per-kernel-launch overhead.
+  double kernel_launch_us = 20.0;
+  /// Cost of one device-wide synchronization (kernel relaunch boundary).
+  double global_sync_us = 30.0;
+  /// Calibration scalar: fraction of peak a well-tuned dense kernel reaches.
+  double efficiency_scale = 1.0;
+  /// Effective throughput (MFLOP/s) of ONE lane executing serial, divergent,
+  /// uncoalesced code — i.e. a single GPU thread chasing pointers at DRAM
+  /// latency. Governs the naive vision-op mappings of Sec. 3.1 ("Before" in
+  /// Table 4): Mali Midgard is worst (no cache backing, slow job manager),
+  /// Maxwell best (bigger caches, higher clock).
+  double serial_lane_mflops = 5.0;
+
+  int64_t total_hw_threads() const {
+    return static_cast<int64_t>(compute_units) * hw_threads_per_cu;
+  }
+  int64_t total_lanes() const { return total_hw_threads() * simd_width; }
+};
+
+/// A platform pairs the integrated GPU with its companion CPU (fallback
+/// target, Sec. 3.1.2) and names the paper's test device.
+struct Platform {
+  std::string name;  // "aws-deeplens" | "acer-aisage" | "jetson-nano"
+  DeviceSpec gpu;
+  DeviceSpec cpu;
+};
+
+/// Returns the three evaluation platforms. Index with PlatformId.
+enum class PlatformId { kDeepLens = 0, kAiSage = 1, kJetsonNano = 2 };
+
+const Platform& platform(PlatformId id);
+const std::vector<Platform>& all_platforms();
+const Platform& platform_by_name(std::string_view name);
+
+}  // namespace igc::sim

@@ -1,0 +1,72 @@
+#include "sim/timing_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace igc::sim {
+
+double occupancy(const DeviceSpec& dev, int64_t work_items, int work_group_size) {
+  IGC_CHECK_GT(work_items, 0);
+  IGC_CHECK_GT(work_group_size, 0);
+  // Work-groups are scheduled whole onto compute units; a group smaller than
+  // the SIMD width wastes lanes, and fewer groups than compute units leaves
+  // units idle.
+  const int64_t num_groups = (work_items + work_group_size - 1) / work_group_size;
+  const double unit_fill =
+      std::min(1.0, static_cast<double>(num_groups) /
+                        static_cast<double>(dev.compute_units));
+  const double lane_fill =
+      std::min(1.0, static_cast<double>(work_group_size) /
+                        static_cast<double>(dev.simd_width));
+  // Latency hiding needs several resident hardware threads per unit.
+  const double threads_per_unit =
+      static_cast<double>(work_items) /
+      (static_cast<double>(dev.compute_units) * dev.simd_width);
+  const double latency_hiding =
+      std::min(1.0, 0.25 + 0.75 * threads_per_unit /
+                               static_cast<double>(dev.hw_threads_per_cu));
+  return unit_fill * lane_fill * latency_hiding;
+}
+
+double estimate_latency_ms(const DeviceSpec& dev, const KernelLaunch& k) {
+  const double occ = occupancy(dev, k.work_items, k.work_group_size);
+  const double eff = std::max(
+      1e-4, k.compute_efficiency * occ * dev.efficiency_scale);
+  const double compute_s = static_cast<double>(k.flops) /
+                           (dev.peak_gflops * 1e9 * eff) * k.divergence_factor;
+  const double mem_s =
+      static_cast<double>(k.dram_read_bytes + k.dram_write_bytes) /
+      (dev.dram_bandwidth_gbps * 1e9);
+  const double overhead_s =
+      (dev.kernel_launch_us + dev.global_sync_us * k.num_global_syncs) * 1e-6;
+  return (std::max(compute_s, mem_s) + overhead_s) * 1e3;
+}
+
+double cpu_latency_ms(const DeviceSpec& cpu, int64_t flops, int64_t bytes,
+                      double parallel_fraction) {
+  IGC_CHECK(!cpu.is_gpu);
+  parallel_fraction = std::clamp(parallel_fraction, 0.0, 1.0);
+  const double per_core_gflops =
+      cpu.peak_gflops / static_cast<double>(cpu.compute_units);
+  const double rate = per_core_gflops * 1e9 * cpu.efficiency_scale;
+  const double f = static_cast<double>(flops);
+  const double compute_s =
+      ((1.0 - parallel_fraction) * f +
+       parallel_fraction * f / static_cast<double>(cpu.compute_units)) /
+      std::max(rate, 1.0);
+  const double mem_s =
+      static_cast<double>(bytes) / (cpu.dram_bandwidth_gbps * 1e9);
+  return (std::max(compute_s, mem_s) + cpu.kernel_launch_us * 1e-6) * 1e3;
+}
+
+double copy_latency_ms(const DeviceSpec& dev, int64_t bytes) {
+  // Same-SoC shared DRAM: a copy is a memcpy through the memory controller.
+  const double fixed_us = 8.0;
+  const double xfer_s =
+      static_cast<double>(bytes) / (dev.dram_bandwidth_gbps * 1e9);
+  return fixed_us * 1e-3 + xfer_s * 1e3;
+}
+
+}  // namespace igc::sim

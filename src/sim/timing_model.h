@@ -1,0 +1,56 @@
+// Analytic latency model for simulated kernel launches.
+//
+// This replaces the wall clock of the paper's physical devices. Each kernel
+// launch is summarized as a KernelLaunch cost descriptor; estimate_latency_ms
+// applies a roofline model (compute vs DRAM bound) modulated by the schedule-
+// dependent quality factors the paper's optimizations manipulate: occupancy,
+// SIMD utilization, register-tile efficiency, branch divergence, and global
+// synchronization count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/device_spec.h"
+
+namespace igc::sim {
+
+/// Cost summary of one kernel launch.
+struct KernelLaunch {
+  std::string name;
+  /// Useful floating-point operations (multiply-add counts as 2).
+  int64_t flops = 0;
+  /// DRAM traffic after accounting for on-chip reuse (registers/caches).
+  int64_t dram_read_bytes = 0;
+  int64_t dram_write_bytes = 0;
+  /// Total work items launched and work-group size.
+  int64_t work_items = 1;
+  int work_group_size = 1;
+  /// Fraction of peak ALU throughput the inner loop sustains, before
+  /// occupancy effects (vectorization match, unrolling, register tiling).
+  double compute_efficiency = 1.0;
+  /// Serialization multiplier from branch divergence (>= 1).
+  double divergence_factor = 1.0;
+  /// Number of device-wide synchronizations (each costs a kernel relaunch).
+  int num_global_syncs = 0;
+};
+
+/// Fraction of the device's lanes kept busy by this launch geometry.
+double occupancy(const DeviceSpec& dev, int64_t work_items, int work_group_size);
+
+/// Latency of one launch in milliseconds.
+double estimate_latency_ms(const DeviceSpec& dev, const KernelLaunch& k);
+
+/// Latency of a host<->device copy of `bytes` bytes. Integrated GPUs share
+/// DRAM with the CPU, so this is bandwidth-bound with a small fixed cost —
+/// the reason the paper's CPU fallback is nearly free (Sec. 3.1.2).
+double copy_latency_ms(const DeviceSpec& dev, int64_t bytes);
+
+/// Latency of running `flops` of work touching `bytes` of memory on the
+/// companion CPU, with `parallel_fraction` of the work parallelizable across
+/// its cores (Amdahl). Used for fallback ops (Sec. 3.1.2) and for the
+/// untuned-CPU comparison points.
+double cpu_latency_ms(const DeviceSpec& cpu, int64_t flops, int64_t bytes,
+                      double parallel_fraction);
+
+}  // namespace igc::sim

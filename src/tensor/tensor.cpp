@@ -1,0 +1,77 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace igc {
+
+Tensor::Tensor(Shape shape, DType dtype) : shape_(std::move(shape)), dtype_(dtype) {
+  const int64_t bytes = std::max<int64_t>(nbytes(), 1);
+  data_ = std::shared_ptr<char[]>(new char[static_cast<size_t>(bytes)]);
+}
+
+Tensor Tensor::zeros(Shape shape, DType dtype) {
+  Tensor t(std::move(shape), dtype);
+  std::memset(t.raw_data(), 0, static_cast<size_t>(t.nbytes()));
+  return t;
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape), DType::kFloat32);
+  std::fill(t.span_f32().begin(), t.span_f32().end(), value);
+  return t;
+}
+
+Tensor Tensor::random_uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape), DType::kFloat32);
+  for (float& v : t.span_f32()) v = rng.next_float(lo, hi);
+  return t;
+}
+
+Tensor Tensor::random_normal(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape), DType::kFloat32);
+  for (float& v : t.span_f32()) v = rng.next_gaussian() * stddev;
+  return t;
+}
+
+Tensor Tensor::from_vector(Shape shape, const std::vector<float>& values) {
+  Tensor t(std::move(shape), DType::kFloat32);
+  IGC_CHECK_EQ(t.numel(), static_cast<int64_t>(values.size()));
+  std::copy(values.begin(), values.end(), t.data_f32());
+  return t;
+}
+
+Tensor Tensor::from_vector_i32(Shape shape, const std::vector<int32_t>& values) {
+  Tensor t(std::move(shape), DType::kInt32);
+  IGC_CHECK_EQ(t.numel(), static_cast<int64_t>(values.size()));
+  std::copy(values.begin(), values.end(), t.data_i32());
+  return t;
+}
+
+Tensor Tensor::clone() const {
+  Tensor t(shape_, dtype_);
+  std::memcpy(t.raw_data(), raw_data(), static_cast<size_t>(nbytes()));
+  return t;
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  IGC_CHECK_EQ(new_shape.numel(), numel())
+      << "reshape " << shape_.str() << " -> " << new_shape.str();
+  Tensor t = *this;
+  t.shape_ = std::move(new_shape);
+  return t;
+}
+
+float Tensor::max_abs_diff(const Tensor& other) const {
+  IGC_CHECK(shape_ == other.shape_);
+  IGC_CHECK(dtype_ == DType::kFloat32 && other.dtype_ == DType::kFloat32);
+  float m = 0.0f;
+  const float* a = data_f32();
+  const float* b = other.data_f32();
+  for (int64_t i = 0; i < numel(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace igc

@@ -1,0 +1,16 @@
+#include "tune/config.h"
+
+namespace igc::tune {
+
+std::vector<int64_t> tile_candidates(int64_t extent, int64_t max_tile) {
+  static const int64_t ladder[] = {1, 2, 3, 4, 6, 7, 8, 12, 14, 16, 24, 28, 32, 48, 64};
+  std::vector<int64_t> out;
+  for (int64_t t : ladder) {
+    if (t > max_tile || t > extent) break;
+    if (extent % t == 0) out.push_back(t);
+  }
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
+}  // namespace igc::tune

@@ -1,0 +1,114 @@
+// Schedule configurations and config spaces (AutoTVM-style, Sec. 3.2.3).
+//
+// A ScheduleConfig is an assignment of integer knobs (tile sizes, unroll
+// factor, vectorization width, work-group size, subgroup usage, ...). A
+// ConfigSpace enumerates the candidate values per knob; the tuner explores
+// the cross product.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace igc::tune {
+
+class ScheduleConfig {
+ public:
+  ScheduleConfig() = default;
+
+  void set(const std::string& knob, int64_t value) { knobs_[knob] = value; }
+
+  int64_t at(const std::string& knob) const {
+    auto it = knobs_.find(knob);
+    IGC_CHECK(it != knobs_.end()) << "unknown knob " << knob;
+    return it->second;
+  }
+
+  int64_t get_or(const std::string& knob, int64_t fallback) const {
+    auto it = knobs_.find(knob);
+    return it == knobs_.end() ? fallback : it->second;
+  }
+
+  bool has(const std::string& knob) const { return knobs_.count(knob) > 0; }
+
+  const std::map<std::string, int64_t>& knobs() const { return knobs_; }
+
+  /// Canonical text form, e.g. "tile_oc=8;vec=8;unroll=2" (sorted by key).
+  /// Used as the tuning-database key and in logs.
+  std::string str() const {
+    std::string s;
+    for (const auto& [k, v] : knobs_) {
+      if (!s.empty()) s += ";";
+      s += k + "=" + std::to_string(v);
+    }
+    return s;
+  }
+
+  bool operator==(const ScheduleConfig& o) const { return knobs_ == o.knobs_; }
+
+ private:
+  std::map<std::string, int64_t> knobs_;
+};
+
+/// The candidate values of every knob; the space is their cross product.
+class ConfigSpace {
+ public:
+  void add_knob(const std::string& name, std::vector<int64_t> choices) {
+    IGC_CHECK(!choices.empty()) << "knob " << name << " has no choices";
+    knobs_.push_back({name, std::move(choices)});
+  }
+
+  int num_knobs() const { return static_cast<int>(knobs_.size()); }
+
+  /// Total number of configurations.
+  int64_t size() const {
+    int64_t n = 1;
+    for (const auto& k : knobs_) n *= static_cast<int64_t>(k.choices.size());
+    return n;
+  }
+
+  /// Decodes a flat index (mixed-radix) into a configuration.
+  ScheduleConfig at(int64_t index) const {
+    IGC_CHECK_GE(index, 0);
+    IGC_CHECK_LT(index, size());
+    ScheduleConfig cfg;
+    for (const auto& k : knobs_) {
+      const int64_t radix = static_cast<int64_t>(k.choices.size());
+      cfg.set(k.name, k.choices[static_cast<size_t>(index % radix)]);
+      index /= radix;
+    }
+    return cfg;
+  }
+
+  ScheduleConfig random(Rng& rng) const {
+    return at(static_cast<int64_t>(rng.next_below(static_cast<uint64_t>(size()))));
+  }
+
+  /// The untuned default: the first (most conservative) choice of every knob.
+  /// This is what "Before" columns in Table 5 execute.
+  ScheduleConfig default_config() const {
+    ScheduleConfig cfg;
+    for (const auto& k : knobs_) cfg.set(k.name, k.choices.front());
+    return cfg;
+  }
+
+  struct Knob {
+    std::string name;
+    std::vector<int64_t> choices;
+  };
+  const std::vector<Knob>& knobs() const { return knobs_; }
+
+ private:
+  std::vector<Knob> knobs_;
+};
+
+/// Candidate tile sizes: divisors of `extent` drawn from a standard ladder,
+/// always including 1. Filtering to divisors keeps the cost model exact (no
+/// remainder tiles).
+std::vector<int64_t> tile_candidates(int64_t extent, int64_t max_tile = 64);
+
+}  // namespace igc::tune

@@ -1,0 +1,52 @@
+#include "tune/conv_tuner.h"
+
+namespace igc::tune {
+
+TuneRecord tune_conv2d(const ops::Conv2dParams& p, const sim::DeviceSpec& dev,
+                       int layout_block, TuneDb& db, const TuneOptions& opts) {
+  const std::string key =
+      TuneDb::make_key(dev.name, p.workload_key(), layout_block);
+  if (auto existing = db.get(key)) return *existing;
+
+  ConfigSpace space = ops::conv2d_config_space(p, dev);
+  const MeasureFn measure = [&](const ScheduleConfig& cfg) {
+    ScheduleConfig with_layout = cfg;
+    with_layout.set("layout_block", layout_block);
+    return ops::conv2d_latency_ms(p, with_layout, dev);
+  };
+  const TuneResult r = tune(space, measure, opts);
+
+  // The pre-tuning anchor is the hand-written template (Table 5 "Before");
+  // the search result never regresses below it.
+  ScheduleConfig manual = ops::conv2d_manual_schedule(p, dev);
+  manual.set("layout_block", layout_block);
+  const double manual_ms = ops::conv2d_latency_ms(p, manual, dev);
+
+  TuneRecord rec;
+  if (r.best_ms <= manual_ms) {
+    rec.config = r.best_config;
+    rec.config.set("layout_block", layout_block);
+    rec.best_ms = r.best_ms;
+  } else {
+    rec.config = manual;
+    rec.best_ms = manual_ms;
+  }
+  rec.default_ms = manual_ms;
+  db.put(key, rec);
+  return rec;
+}
+
+ScheduleConfig lookup_or_default(const ops::Conv2dParams& p,
+                                 const sim::DeviceSpec& dev, int layout_block,
+                                 const TuneDb* db) {
+  if (db != nullptr) {
+    const std::string key =
+        TuneDb::make_key(dev.name, p.workload_key(), layout_block);
+    if (auto rec = db->get(key)) return rec->config;
+  }
+  ScheduleConfig cfg = ops::conv2d_manual_schedule(p, dev);
+  cfg.set("layout_block", layout_block);
+  return cfg;
+}
+
+}  // namespace igc::tune

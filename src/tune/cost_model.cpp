@@ -1,0 +1,94 @@
+#include "tune/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/error.h"
+
+namespace igc::tune {
+
+std::vector<double> config_features(const ScheduleConfig& cfg) {
+  std::vector<double> f;
+  f.reserve(cfg.knobs().size());
+  for (const auto& [name, value] : cfg.knobs()) {
+    f.push_back(std::log2(1.0 + static_cast<double>(value)));
+  }
+  return f;
+}
+
+void CostModel::fit(const std::vector<std::vector<double>>& x,
+                    const std::vector<double>& y) {
+  IGC_CHECK_EQ(x.size(), y.size());
+  IGC_CHECK(!x.empty());
+  stumps_.clear();
+  const size_t n = x.size();
+  const size_t dims = x[0].size();
+
+  base_ = 0.0;
+  for (double v : y) base_ += v;
+  base_ /= static_cast<double>(n);
+
+  std::vector<double> residual(n);
+  for (size_t i = 0; i < n; ++i) residual[i] = y[i] - base_;
+
+  for (int round = 0; round < num_rounds_; ++round) {
+    Stump best;
+    double best_sse = std::numeric_limits<double>::infinity();
+    for (size_t d = 0; d < dims; ++d) {
+      // Candidate thresholds: midpoints of sorted unique feature values.
+      std::vector<double> vals;
+      vals.reserve(n);
+      for (size_t i = 0; i < n; ++i) vals.push_back(x[i][d]);
+      std::sort(vals.begin(), vals.end());
+      vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+      for (size_t t = 0; t + 1 < vals.size(); ++t) {
+        const double thr = 0.5 * (vals[t] + vals[t + 1]);
+        double sum_l = 0, sum_r = 0;
+        int64_t cnt_l = 0, cnt_r = 0;
+        for (size_t i = 0; i < n; ++i) {
+          if (x[i][d] <= thr) {
+            sum_l += residual[i];
+            ++cnt_l;
+          } else {
+            sum_r += residual[i];
+            ++cnt_r;
+          }
+        }
+        if (cnt_l == 0 || cnt_r == 0) continue;
+        const double mean_l = sum_l / static_cast<double>(cnt_l);
+        const double mean_r = sum_r / static_cast<double>(cnt_r);
+        double sse = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          const double pred = x[i][d] <= thr ? mean_l : mean_r;
+          const double e = residual[i] - pred;
+          sse += e * e;
+        }
+        if (sse < best_sse) {
+          best_sse = sse;
+          best = {static_cast<int>(d), thr, mean_l, mean_r};
+        }
+      }
+    }
+    if (!std::isfinite(best_sse)) break;  // degenerate data
+    best.left *= learning_rate_;
+    best.right *= learning_rate_;
+    stumps_.push_back(best);
+    for (size_t i = 0; i < n; ++i) {
+      residual[i] -= x[i][static_cast<size_t>(best.feature)] <= best.threshold
+                         ? best.left
+                         : best.right;
+    }
+  }
+}
+
+double CostModel::predict(const std::vector<double>& features) const {
+  double p = base_;
+  for (const Stump& s : stumps_) {
+    p += features[static_cast<size_t>(s.feature)] <= s.threshold ? s.left
+                                                                 : s.right;
+  }
+  return p;
+}
+
+}  // namespace igc::tune

@@ -1,0 +1,48 @@
+// Statistical cost model for schedule search (Sec. 3.2.3, AutoTVM's
+// "statistical cost models for predicting achievable performance").
+//
+// Gradient-boosted regression stumps over schedule-knob features: small,
+// dependency-free, and — like AutoTVM's XGBoost model — good enough to rank
+// candidate configs so the search measures only the promising ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tune/config.h"
+
+namespace igc::tune {
+
+/// Feature vector of a config: log2(1+value) of every knob, in sorted knob
+/// order (the canonical order of ScheduleConfig::knobs()).
+std::vector<double> config_features(const ScheduleConfig& cfg);
+
+class CostModel {
+ public:
+  explicit CostModel(int num_rounds = 60, double learning_rate = 0.3)
+      : num_rounds_(num_rounds), learning_rate_(learning_rate) {}
+
+  /// Fits latency (ms) as a function of config features. Retrains from
+  /// scratch (training sets during tuning are tiny).
+  void fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y);
+
+  double predict(const std::vector<double>& features) const;
+
+  bool trained() const { return !stumps_.empty(); }
+
+ private:
+  struct Stump {
+    int feature = 0;
+    double threshold = 0.0;
+    double left = 0.0;   // prediction delta when feature <= threshold
+    double right = 0.0;  // otherwise
+  };
+  int num_rounds_;
+  double learning_rate_;
+  double base_ = 0.0;
+  std::vector<Stump> stumps_;
+};
+
+}  // namespace igc::tune

@@ -1,0 +1,81 @@
+#include "tune/tunedb.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace igc::tune {
+
+std::string TuneDb::make_key(const std::string& device,
+                             const std::string& workload, int layout_block) {
+  return device + "/" + workload + "/b" + std::to_string(layout_block);
+}
+
+void TuneDb::put(const std::string& key, TuneRecord record) {
+  records_[key] = std::move(record);
+}
+
+std::optional<TuneRecord> TuneDb::get(const std::string& key) const {
+  auto it = records_.find(key);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string TuneDb::serialize() const {
+  std::ostringstream os;
+  for (const auto& [key, rec] : records_) {
+    os << key << "\t" << rec.best_ms << "\t" << rec.default_ms << "\t"
+       << rec.config.str() << "\n";
+  }
+  return os.str();
+}
+
+TuneDb TuneDb::deserialize(const std::string& text) {
+  TuneDb db;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string key, best, dflt, cfg;
+    IGC_CHECK(std::getline(ls, key, '\t') && std::getline(ls, best, '\t') &&
+              std::getline(ls, dflt, '\t') && std::getline(ls, cfg))
+        << "malformed tunedb line: " << line;
+    TuneRecord rec;
+    rec.best_ms = std::stod(best);
+    rec.default_ms = std::stod(dflt);
+    rec.config = parse_config(cfg);
+    db.put(key, std::move(rec));
+  }
+  return db;
+}
+
+void TuneDb::save(const std::string& path) const {
+  std::ofstream f(path);
+  IGC_CHECK(f.good()) << "cannot write " << path;
+  f << serialize();
+}
+
+TuneDb TuneDb::load(const std::string& path) {
+  std::ifstream f(path);
+  IGC_CHECK(f.good()) << "cannot read " << path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return deserialize(ss.str());
+}
+
+ScheduleConfig parse_config(const std::string& text) {
+  ScheduleConfig cfg;
+  std::istringstream is(text);
+  std::string item;
+  while (std::getline(is, item, ';')) {
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    IGC_CHECK_NE(eq, std::string::npos) << "malformed knob: " << item;
+    cfg.set(item.substr(0, eq), std::stoll(item.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+}  // namespace igc::tune

@@ -1,0 +1,49 @@
+// The tuning database (Sec. 3.2.3: "we maintain a database to store the
+// results for every convolution workload on each hardware platform").
+//
+// Keyed by (device name, workload key, layout block). Persistable to a
+// simple line-oriented text file so tuning runs are reusable across
+// processes, mirroring the paper's motivation: tensor-level search is
+// expensive (tens of hours on edge devices), so never search twice.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "tune/config.h"
+
+namespace igc::tune {
+
+struct TuneRecord {
+  ScheduleConfig config;
+  double best_ms = 0.0;
+  double default_ms = 0.0;
+};
+
+class TuneDb {
+ public:
+  static std::string make_key(const std::string& device,
+                              const std::string& workload, int layout_block);
+
+  void put(const std::string& key, TuneRecord record);
+  std::optional<TuneRecord> get(const std::string& key) const;
+  bool contains(const std::string& key) const { return records_.count(key) > 0; }
+  size_t size() const { return records_.size(); }
+
+  /// Serialization: one record per line,
+  /// "key<TAB>best_ms<TAB>default_ms<TAB>knob=v;knob=v".
+  std::string serialize() const;
+  static TuneDb deserialize(const std::string& text);
+
+  void save(const std::string& path) const;
+  static TuneDb load(const std::string& path);
+
+ private:
+  std::map<std::string, TuneRecord> records_;
+};
+
+/// Parses the canonical "k=v;k=v" form produced by ScheduleConfig::str().
+ScheduleConfig parse_config(const std::string& text);
+
+}  // namespace igc::tune

@@ -1,0 +1,143 @@
+#include "tune/tuner.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/error.h"
+
+namespace igc::tune {
+namespace {
+
+class Recorder {
+ public:
+  Recorder(const MeasureFn& measure, int budget)
+      : measure_(measure), budget_(budget) {}
+
+  double measure(const ScheduleConfig& cfg) {
+    const double ms = measure_(cfg);
+    IGC_CHECK_GT(ms, 0.0);
+    ++trials_;
+    xs_.push_back(config_features(cfg));
+    ys_.push_back(ms);
+    if (ms < best_ms_) {
+      best_ms_ = ms;
+      best_ = cfg;
+    }
+    return ms;
+  }
+
+  bool exhausted() const { return trials_ >= budget_; }
+  int trials() const { return trials_; }
+  double best_ms() const { return best_ms_; }
+  const ScheduleConfig& best() const { return best_; }
+  const std::vector<std::vector<double>>& xs() const { return xs_; }
+  const std::vector<double>& ys() const { return ys_; }
+
+ private:
+  const MeasureFn& measure_;
+  int budget_;
+  int trials_ = 0;
+  double best_ms_ = std::numeric_limits<double>::infinity();
+  ScheduleConfig best_;
+  std::vector<std::vector<double>> xs_;
+  std::vector<double> ys_;
+};
+
+void random_search(const ConfigSpace& space, Recorder& rec, Rng& rng) {
+  while (!rec.exhausted()) rec.measure(space.random(rng));
+}
+
+void simulated_annealing(const ConfigSpace& space, Recorder& rec, Rng& rng) {
+  // Walk the mixed-radix index space one knob at a time.
+  ScheduleConfig cur = space.random(rng);
+  double cur_ms = rec.measure(cur);
+  double temp = 1.0;
+  const double cooling = 0.95;
+  while (!rec.exhausted()) {
+    // Mutate one knob to a random other choice.
+    const auto& knobs = space.knobs();
+    const size_t k = rng.next_below(knobs.size());
+    ScheduleConfig next = cur;
+    next.set(knobs[k].name,
+             knobs[k].choices[rng.next_below(knobs[k].choices.size())]);
+    const double next_ms = rec.measure(next);
+    const double delta = (next_ms - cur_ms) / std::max(cur_ms, 1e-9);
+    if (delta < 0.0 || rng.next_double() < std::exp(-delta / std::max(temp, 1e-3))) {
+      cur = next;
+      cur_ms = next_ms;
+    }
+    temp *= cooling;
+  }
+}
+
+void model_guided(const ConfigSpace& space, Recorder& rec, Rng& rng,
+                  const TuneOptions& opts) {
+  CostModel model;
+  std::set<std::string> seen;
+  // Warm-up round: random batch.
+  for (int i = 0; i < opts.batch_size && !rec.exhausted(); ++i) {
+    const auto cfg = space.random(rng);
+    if (seen.insert(cfg.str()).second) rec.measure(cfg);
+  }
+  while (!rec.exhausted()) {
+    model.fit(rec.xs(), rec.ys());
+    // Rank a pool of unseen random candidates by predicted latency.
+    std::vector<std::pair<double, ScheduleConfig>> pool;
+    for (int i = 0; i < opts.pool_size; ++i) {
+      auto cfg = space.random(rng);
+      if (seen.count(cfg.str())) continue;
+      pool.emplace_back(model.predict(config_features(cfg)), std::move(cfg));
+    }
+    std::sort(pool.begin(), pool.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    // Measure the top batch (epsilon-greedy: one slot stays random).
+    int measured = 0;
+    for (const auto& [pred, cfg] : pool) {
+      if (rec.exhausted() || measured >= opts.batch_size - 1) break;
+      if (!seen.insert(cfg.str()).second) continue;
+      rec.measure(cfg);
+      ++measured;
+    }
+    if (!rec.exhausted()) {
+      const auto cfg = space.random(rng);
+      if (seen.insert(cfg.str()).second) rec.measure(cfg);
+    }
+    if (pool.empty()) break;  // space exhausted
+  }
+}
+
+}  // namespace
+
+TuneResult tune(const ConfigSpace& space, const MeasureFn& measure,
+                const TuneOptions& opts) {
+  IGC_CHECK_GT(opts.n_trials, 0);
+  Rng rng(opts.seed);
+  Recorder rec(measure, opts.n_trials);
+
+  // Always measure the untuned default first: it anchors the "Before"
+  // column and guarantees the tuner never regresses below the template.
+  const ScheduleConfig default_cfg = space.default_config();
+  const double default_ms = rec.measure(default_cfg);
+
+  switch (opts.strategy) {
+    case SearchStrategy::kRandom:
+      random_search(space, rec, rng);
+      break;
+    case SearchStrategy::kSimulatedAnnealing:
+      simulated_annealing(space, rec, rng);
+      break;
+    case SearchStrategy::kModelGuided:
+      model_guided(space, rec, rng, opts);
+      break;
+  }
+
+  TuneResult result;
+  result.best_config = rec.best();
+  result.best_ms = rec.best_ms();
+  result.default_ms = default_ms;
+  result.trials = rec.trials();
+  return result;
+}
+
+}  // namespace igc::tune

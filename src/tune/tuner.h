@@ -1,0 +1,53 @@
+// The tuning loop (Sec. 3.2.3, AutoTVM).
+//
+// Given a config space and a measurement function (here: the simulator's
+// analytic latency), the tuner explores the space with one of three search
+// strategies and returns the best schedule found. The model-guided strategy
+// reproduces AutoTVM's loop: train a statistical cost model on the measured
+// configs, rank a large candidate pool with it, measure the most promising
+// batch, repeat.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/rng.h"
+#include "tune/config.h"
+#include "tune/cost_model.h"
+
+namespace igc::tune {
+
+/// Measures one config; returns latency in ms.
+using MeasureFn = std::function<double(const ScheduleConfig&)>;
+
+enum class SearchStrategy {
+  kRandom,
+  kSimulatedAnnealing,
+  kModelGuided,  // AutoTVM-style (default)
+};
+
+struct TuneOptions {
+  SearchStrategy strategy = SearchStrategy::kModelGuided;
+  /// Total measurement budget.
+  int n_trials = 128;
+  /// Model-guided: configs measured per round.
+  int batch_size = 16;
+  /// Model-guided: candidate pool ranked by the cost model per round.
+  int pool_size = 256;
+  uint64_t seed = 0x5eedf00d;
+};
+
+struct TuneResult {
+  ScheduleConfig best_config;
+  double best_ms = 0.0;
+  /// Latency of the space's default (untuned) config — the Table 5 "Before".
+  double default_ms = 0.0;
+  int trials = 0;
+};
+
+/// Runs the search. The default config is always measured first, so the
+/// result is never worse than the untuned template.
+TuneResult tune(const ConfigSpace& space, const MeasureFn& measure,
+                const TuneOptions& opts = {});
+
+}  // namespace igc::tune

@@ -1,0 +1,91 @@
+// Tests for the emulated vendor baselines: coverage gaps, determinism, and
+// qualitative per-class behaviour.
+#include <gtest/gtest.h>
+
+#include "baselines/vendor.h"
+#include "core/rng.h"
+#include "models/models.h"
+#include "sim/device_spec.h"
+
+namespace igc::baselines {
+namespace {
+
+using sim::PlatformId;
+
+TEST(Vendor, PlatformMapping) {
+  EXPECT_EQ(vendor_for(sim::platform(PlatformId::kDeepLens)),
+            VendorLib::kOpenVino);
+  EXPECT_EQ(vendor_for(sim::platform(PlatformId::kAiSage)), VendorLib::kAcl);
+  EXPECT_EQ(vendor_for(sim::platform(PlatformId::kJetsonNano)),
+            VendorLib::kCudnnMxnet);
+  EXPECT_EQ(vendor_name(VendorLib::kOpenVino), "OpenVINO");
+}
+
+TEST(Vendor, OpenVinoRejectsDetectionModels) {
+  Rng rng(1);
+  const auto& plat = sim::platform(PlatformId::kDeepLens);
+  models::Model ssd = models::build_ssd(rng, models::SsdBackbone::kMobileNet, 128);
+  const BaselineResult r = run_baseline(VendorLib::kOpenVino, ssd, plat);
+  EXPECT_FALSE(r.supported);
+  EXPECT_FALSE(r.unsupported_reason.empty());
+
+  models::Model yolo = models::build_yolov3(rng, 128, 1, 10);
+  EXPECT_FALSE(run_baseline(VendorLib::kOpenVino, yolo, plat).supported);
+
+  models::Model cls = models::build_squeezenet(rng, 64, 1, 10);
+  EXPECT_TRUE(run_baseline(VendorLib::kOpenVino, cls, plat).supported);
+}
+
+TEST(Vendor, AclAndCudnnSupportDetection) {
+  Rng rng(2);
+  models::Model ssd = models::build_ssd(rng, models::SsdBackbone::kMobileNet, 128);
+  EXPECT_TRUE(run_baseline(VendorLib::kAcl, ssd,
+                           sim::platform(PlatformId::kAiSage))
+                  .supported);
+  EXPECT_TRUE(run_baseline(VendorLib::kCudnnMxnet, ssd,
+                           sim::platform(PlatformId::kJetsonNano))
+                  .supported);
+}
+
+TEST(Vendor, DeterministicLatency) {
+  Rng rng(3);
+  models::Model m = models::build_mobilenet(rng, 128, 1, 100);
+  const auto& plat = sim::platform(PlatformId::kJetsonNano);
+  const double a = run_baseline(VendorLib::kCudnnMxnet, m, plat).latency_ms;
+  const double b = run_baseline(VendorLib::kCudnnMxnet, m, plat).latency_ms;
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_GT(a, 0.0);
+}
+
+TEST(Vendor, CudnnWeakOnDepthwiseRelativeToRegular) {
+  // MobileNet (depthwise-heavy) should run at a much lower fraction of its
+  // FLOPs than ResNet under the cuDNN profile — the root of Table 3's
+  // 1.49x vs 1.03x split.
+  Rng rng(4);
+  models::Model mob = models::build_mobilenet(rng, 224);
+  models::Model res = models::build_resnet50(rng, 224);
+  const auto& plat = sim::platform(PlatformId::kJetsonNano);
+  const double mob_ms =
+      run_baseline(VendorLib::kCudnnMxnet, mob, plat).latency_ms;
+  const double res_ms =
+      run_baseline(VendorLib::kCudnnMxnet, res, plat).latency_ms;
+  const double mob_gflops =
+      static_cast<double>(mob.graph.total_conv_flops()) / 1e9;
+  const double res_gflops =
+      static_cast<double>(res.graph.total_conv_flops()) / 1e9;
+  const double mob_rate = mob_gflops / (mob_ms / 1e3);
+  const double res_rate = res_gflops / (res_ms / 1e3);
+  EXPECT_LT(mob_rate, res_rate * 0.75);
+}
+
+TEST(Vendor, LargerModelsCostMore) {
+  Rng rng(5);
+  const auto& plat = sim::platform(PlatformId::kAiSage);
+  models::Model small = models::build_squeezenet(rng, 128);
+  models::Model big = models::build_resnet50(rng, 224);
+  EXPECT_LT(run_baseline(VendorLib::kAcl, small, plat).latency_ms,
+            run_baseline(VendorLib::kAcl, big, plat).latency_ms);
+}
+
+}  // namespace
+}  // namespace igc::baselines

@@ -1,0 +1,139 @@
+// Unit tests for src/core: error macros, shapes, rng, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "core/shape.h"
+#include "core/thread_pool.h"
+
+namespace igc {
+namespace {
+
+TEST(Error, CheckThrowsWithMessage) {
+  try {
+    IGC_CHECK(1 == 2) << "custom detail " << 42;
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom detail 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, ComparisonMacros) {
+  EXPECT_NO_THROW(IGC_CHECK_EQ(3, 3));
+  EXPECT_THROW(IGC_CHECK_EQ(3, 4), Error);
+  EXPECT_THROW(IGC_CHECK_LT(4, 4), Error);
+  EXPECT_NO_THROW(IGC_CHECK_LE(4, 4));
+  EXPECT_THROW(IGC_CHECK_GT(1, 2), Error);
+  EXPECT_NO_THROW(IGC_CHECK_GE(2, 2));
+  EXPECT_THROW(IGC_CHECK_NE(5, 5), Error);
+}
+
+TEST(Shape, BasicProperties) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.ndim(), 3);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[2], 4);
+  EXPECT_EQ(s.str(), "(2, 3, 4)");
+}
+
+TEST(Shape, Strides) {
+  Shape s{2, 3, 4};
+  auto st = s.strides();
+  ASSERT_EQ(st.size(), 3u);
+  EXPECT_EQ(st[0], 12);
+  EXPECT_EQ(st[1], 4);
+  EXPECT_EQ(st[2], 1);
+}
+
+TEST(Shape, EmptyShapeIsScalar) {
+  Shape s;
+  EXPECT_EQ(s.ndim(), 0);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, EqualityAndBoundsChecks) {
+  Shape a{2, 3};
+  Shape b{2, 3};
+  Shape c{3, 2};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_THROW(a[2], Error);
+  EXPECT_THROW(a[-1], Error);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    int64_t v = rng.next_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(99);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.next_gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](int64_t i) { hits[static_cast<size_t>(i)]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](int64_t i) {
+                          if (i == 57) throw Error("boom");
+                        }),
+      Error);
+}
+
+TEST(ThreadPool, NestedCallsDegradeGracefully) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  // Using the global pool inside tasks of the global pool must not deadlock.
+  ThreadPool::global().parallel_for(8, [&](int64_t) {
+    ThreadPool::global().parallel_for(8, [&](int64_t) { count++; });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, ZeroAndOneIterations) {
+  ThreadPool pool(3);
+  int calls = 0;
+  pool.parallel_for(0, [&](int64_t) { calls++; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](int64_t) { calls++; });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace igc

@@ -1,0 +1,234 @@
+// End-to-end executor tests: numerical equivalence across optimization
+// passes, heterogeneous fallback, tuned-vs-untuned timing, and the
+// vision-op optimization switch.
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "graph/executor.h"
+#include "graph/passes.h"
+#include "models/common.h"
+#include "models/models.h"
+#include "ops/vision/nms.h"
+#include "sim/device_spec.h"
+#include "tune/conv_tuner.h"
+
+namespace igc::graph {
+namespace {
+
+using sim::PlatformId;
+
+/// A small conv net: conv-bn-relu x2 + residual add + GAP head.
+Graph small_net(Rng& rng) {
+  Graph g;
+  const int in = g.add_input("data", Shape{1, 8, 16, 16});
+  const int c1 = models::conv_bn_act(g, rng, "c1", in, 16, 3, 1, 1);
+  const int c2 = models::conv_bn_act(g, rng, "c2", c1, 16, 3, 1, 1, 1,
+                                     /*relu=*/false);
+  const int sum = g.add_add("res", c2, c1);
+  const int act = g.add_activation("res_relu", sum, ops::Activation::kRelu);
+  const int gap = g.add_global_avg_pool("gap", act);
+  const int flat = g.add_flatten("flat", gap);
+  const int sm = g.add_softmax("prob", flat);
+  g.set_output(sm);
+  return g;
+}
+
+ExecResult run(const Graph& g, PlatformId plat, const ExecOptions& opts,
+               uint64_t seed = 99) {
+  Rng rng(seed);
+  return execute(g, sim::platform(plat), opts, rng);
+}
+
+TEST(Executor, ProducesOutputAndPositiveLatency) {
+  Rng rng(1);
+  Graph g = small_net(rng);
+  ExecOptions opts;
+  const ExecResult r = run(g, PlatformId::kDeepLens, opts);
+  EXPECT_EQ(r.output.shape(), Shape({1, 16}));
+  EXPECT_GT(r.latency_ms, 0.0);
+  EXPECT_FALSE(r.events.empty());
+  // Softmax output sums to 1.
+  double sum = 0.0;
+  for (float v : r.output.span_f32()) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-4);
+}
+
+TEST(Executor, OptimizationPassesPreserveNumerics) {
+  Rng rng(2);
+  Graph raw = small_net(rng);
+  Graph optimized = raw;  // deep copy of nodes (tensors alias, not mutated...
+  // ...except fold rewrites weights on clones of its own copy).
+  // Rebuild instead to keep weights independent:
+  Rng rng2(2);
+  optimized = small_net(rng2);
+  optimize(optimized);
+
+  ExecOptions opts;
+  const ExecResult a = run(raw, PlatformId::kJetsonNano, opts, 7);
+  const ExecResult b = run(optimized, PlatformId::kJetsonNano, opts, 7);
+  EXPECT_EQ(a.output.shape(), b.output.shape());
+  EXPECT_LT(a.output.max_abs_diff(b.output), 1e-4f);
+}
+
+TEST(Executor, FusionReducesKernelCount) {
+  Rng rng(3);
+  Graph raw = small_net(rng);
+  Rng rng2(3);
+  Graph optimized = small_net(rng2);
+  optimize(optimized);
+  ExecOptions opts;
+  const ExecResult a = run(raw, PlatformId::kDeepLens, opts);
+  const ExecResult b = run(optimized, PlatformId::kDeepLens, opts);
+  EXPECT_LT(b.events.size(), a.events.size());
+  EXPECT_LT(b.latency_ms, a.latency_ms);
+}
+
+TEST(Executor, TunedConfigsBeatDefaults) {
+  Rng rng(4);
+  Graph g = small_net(rng);
+  optimize(g);
+  const auto& plat = sim::platform(PlatformId::kJetsonNano);
+  tune::TuneDb db;
+  tune::TuneOptions topts;
+  topts.n_trials = 48;
+  for (int id : g.conv_node_ids()) {
+    tune::tune_conv2d(g.node(id).conv, plat.gpu, 1, db, topts);
+  }
+  ExecOptions untuned;
+  untuned.use_tuned_configs = false;
+  ExecOptions tuned;
+  tuned.db = &db;
+  const ExecResult a = run(g, PlatformId::kJetsonNano, untuned);
+  const ExecResult b = run(g, PlatformId::kJetsonNano, tuned);
+  EXPECT_LT(b.conv_ms, a.conv_ms);
+  // Numerics identical either way.
+  EXPECT_LT(a.output.max_abs_diff(b.output), 1e-6f);
+}
+
+TEST(Executor, ShapesOnlyModeIsFastAndTimesEqualNumericMode) {
+  Rng rng(5);
+  Graph g = small_net(rng);
+  optimize(g);
+  ExecOptions numeric;
+  ExecOptions shapes;
+  shapes.compute_numerics = false;
+  const ExecResult a = run(g, PlatformId::kAiSage, numeric);
+  const ExecResult b = run(g, PlatformId::kAiSage, shapes);
+  // The simulated clock must not depend on whether numerics ran (pure
+  // tensor pipeline, no data-dependent ops in this net).
+  EXPECT_NEAR(a.latency_ms, b.latency_ms, 1e-9);
+}
+
+// ---- vision ops in graphs --------------------------------------------------
+
+Graph nms_graph(int64_t n) {
+  Graph g;
+  const int in = g.add_input("detections", Shape{1, n, 6});
+  ops::NmsParams p;
+  p.iou_threshold = 0.45f;
+  const int nms = g.add_box_nms("nms", in, p);
+  g.set_output(nms);
+  return g;
+}
+
+TEST(Executor, VisionOptimizationTogglesCostNotResult) {
+  Graph g = nms_graph(4000);
+  ExecOptions on;
+  ExecOptions off;
+  off.optimized_vision_ops = false;
+  const ExecResult a = run(g, PlatformId::kAiSage, on, 42);
+  const ExecResult b = run(g, PlatformId::kAiSage, off, 42);
+  EXPECT_EQ(a.output.max_abs_diff(b.output), 0.0f);
+  EXPECT_LT(a.vision_ms, b.vision_ms);
+}
+
+TEST(Executor, CpuFallbackMatchesGpuNumerics) {
+  Graph gpu_graph = nms_graph(2000);
+  optimize(gpu_graph);  // nms on GPU
+  Graph cpu_graph = nms_graph(2000);
+  optimize(cpu_graph, {OpKind::kBoxNms});  // nms falls back to CPU
+
+  int copies = 0;
+  for (const Node& n : cpu_graph.nodes()) {
+    if (n.kind == OpKind::kDeviceCopy) ++copies;
+  }
+  // Input is already host-side; no GPU section in this tiny graph, so no
+  // copies are needed at all.
+  const ExecResult a = run(gpu_graph, PlatformId::kDeepLens, {}, 11);
+  const ExecResult b = run(cpu_graph, PlatformId::kDeepLens, {}, 11);
+  EXPECT_EQ(a.output.max_abs_diff(b.output), 0.0f);
+  EXPECT_GT(b.latency_ms, 0.0);
+  (void)copies;
+}
+
+TEST(Executor, FallbackInsertsCopiesAroundGpuSections) {
+  // conv (GPU) -> nms-ish chain: force activation to CPU and check copies
+  // are charged.
+  Rng rng(6);
+  Graph g;
+  const int in = g.add_input("data", Shape{1, 4, 8, 8});
+  const int c = models::conv_bn_act(g, rng, "c", in, 8, 3, 1, 1);
+  const int gap = g.add_global_avg_pool("gap", c);
+  g.set_output(gap);
+  optimize(g, {OpKind::kGlobalAvgPool});
+  const ExecResult r = run(g, PlatformId::kDeepLens, {});
+  EXPECT_GT(r.copy_ms, 0.0);
+}
+
+TEST(Executor, SsdDetectionGraphEndToEnd) {
+  Rng rng(7);
+  models::Model m = models::build_ssd(rng, models::SsdBackbone::kMobileNet,
+                                      /*image_size=*/128);
+  optimize(m.graph);
+  ExecOptions opts;
+  opts.compute_numerics = false;  // backbone shapes only; detection synthetic
+  const ExecResult r = run(m.graph, PlatformId::kJetsonNano, opts);
+  EXPECT_EQ(r.output.shape().ndim(), 3);
+  EXPECT_EQ(r.output.shape()[2], 6);
+  EXPECT_GT(r.vision_ms, 0.0);
+  EXPECT_GT(r.conv_ms, 0.0);
+  // Output is a valid NMS result: rows are either invalid or well-formed.
+  const float* o = r.output.data_f32();
+  for (int64_t i = 0; i < r.output.shape()[1]; ++i) {
+    if (o[i * 6] < 0.0f) continue;
+    EXPECT_GE(o[i * 6 + 1], 0.0f);
+    EXPECT_LE(o[i * 6 + 2], o[i * 6 + 4]);  // x1 <= x2
+  }
+}
+
+TEST(Executor, YoloGraphEndToEnd) {
+  Rng rng(8);
+  models::Model m = models::build_yolov3(rng, /*image_size=*/128, 1, 20);
+  optimize(m.graph);
+  ExecOptions opts;
+  opts.compute_numerics = false;
+  const ExecResult r = run(m.graph, PlatformId::kAiSage, opts);
+  EXPECT_EQ(r.output.shape()[2], 6);
+  EXPECT_GT(r.vision_ms, 0.0);
+}
+
+TEST(Executor, LayoutBlocksChargeTransforms) {
+  Rng rng(9);
+  Graph g = small_net(rng);
+  optimize(g);
+  const auto convs = g.conv_node_ids();
+  ASSERT_GE(convs.size(), 2u);
+  ExecOptions plain;
+  ExecOptions blocked;
+  // Alternate blocks so every conv edge needs a transform.
+  int flip = 0;
+  for (int id : convs) {
+    blocked.conv_layout_block[id] = (flip++ % 2 == 0) ? 8 : 1;
+  }
+  const ExecResult a = run(g, PlatformId::kDeepLens, plain);
+  const ExecResult b = run(g, PlatformId::kDeepLens, blocked);
+  int transforms = 0;
+  for (const auto& e : b.events) {
+    if (e.name.rfind("layout_transform", 0) == 0) ++transforms;
+  }
+  EXPECT_GT(transforms, 0);
+  EXPECT_LT(a.output.max_abs_diff(b.output), 1e-6f);
+}
+
+}  // namespace
+}  // namespace igc::graph

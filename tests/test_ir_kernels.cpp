@@ -1,0 +1,109 @@
+// Interpreter-validated tests of the additional IR lowerings (depthwise and
+// elementwise kernels): the same IR must compute exactly what the operator
+// library computes, and print in both dialects.
+#include <gtest/gtest.h>
+
+#include "codegen/codegen.h"
+#include "core/rng.h"
+#include "ir/interp.h"
+#include "ops/nn/ir_kernels.h"
+#include "ops/nn/nn_ops.h"
+
+namespace igc::ops {
+namespace {
+
+TEST(DepthwiseIr, MatchesReferenceConvolution) {
+  Conv2dParams p;
+  p.in_channels = p.out_channels = 4;
+  p.groups = 4;
+  p.in_h = p.in_w = 8;
+  p.kernel_h = p.kernel_w = 3;
+  p.pad_h = p.pad_w = 1;
+  tune::ScheduleConfig cfg;
+  cfg.set("tile_ow", 4);
+  Rng rng(1);
+  Tensor in = Tensor::random_uniform(Shape{1, 4, 8, 8}, rng);
+  Tensor w = Tensor::random_uniform(Shape{4, 1, 3, 3}, rng);
+  const Tensor expected = conv2d_reference(in, w, nullptr, p);
+
+  const ir::LoweredKernel k = depthwise_build_ir(p, cfg);
+  Tensor out = Tensor::zeros(expected.shape());
+  ir::interpret(k, {{"data", in},
+                    {"weight", w.reshape(Shape{4, 3, 3})},
+                    {"out", out}});
+  EXPECT_LT(out.max_abs_diff(expected), 1e-5f);
+  EXPECT_NE(codegen::emit_opencl(k).find("__kernel"), std::string::npos);
+  EXPECT_NE(codegen::emit_cuda(k).find("__global__"), std::string::npos);
+}
+
+TEST(DepthwiseIr, StridedVariant) {
+  Conv2dParams p;
+  p.in_channels = p.out_channels = 2;
+  p.groups = 2;
+  p.in_h = p.in_w = 8;
+  p.kernel_h = p.kernel_w = 3;
+  p.stride_h = p.stride_w = 2;
+  p.pad_h = p.pad_w = 1;
+  tune::ScheduleConfig cfg;
+  cfg.set("tile_ow", 1);
+  Rng rng(2);
+  Tensor in = Tensor::random_uniform(Shape{1, 2, 8, 8}, rng);
+  Tensor w = Tensor::random_uniform(Shape{2, 1, 3, 3}, rng);
+  const Tensor expected = conv2d_reference(in, w, nullptr, p);
+  Tensor out = Tensor::zeros(expected.shape());
+  ir::interpret(depthwise_build_ir(p, cfg),
+                {{"data", in}, {"weight", w.reshape(Shape{2, 3, 3})},
+                 {"out", out}});
+  EXPECT_LT(out.max_abs_diff(expected), 1e-5f);
+}
+
+TEST(ReluIr, MatchesReference) {
+  Rng rng(3);
+  Tensor in = Tensor::random_uniform(Shape{64}, rng, -2.0f, 2.0f);
+  const Tensor expected = activation_reference(in, Activation::kRelu);
+  Tensor out = Tensor::zeros(Shape{64});
+  ir::interpret(relu_build_ir(64), {{"data", in}, {"out", out}});
+  EXPECT_EQ(out.max_abs_diff(expected), 0.0f);
+  // fmaxf in the OpenCL/CUDA source (float max).
+  EXPECT_NE(codegen::emit_cuda(relu_build_ir(64)).find("fmaxf"),
+            std::string::npos);
+}
+
+TEST(AddIr, PlainAndFusedRelu) {
+  Rng rng(4);
+  Tensor a = Tensor::random_uniform(Shape{32}, rng, -1.0f, 1.0f);
+  Tensor b = Tensor::random_uniform(Shape{32}, rng, -1.0f, 1.0f);
+  const Tensor sum = add_reference(a, b);
+  Tensor out = Tensor::zeros(Shape{32});
+  ir::interpret(add_build_ir(32, false), {{"a", a}, {"b", b}, {"out", out}});
+  EXPECT_EQ(out.max_abs_diff(sum), 0.0f);
+
+  const Tensor fused = activation_reference(sum, Activation::kRelu);
+  Tensor out2 = Tensor::zeros(Shape{32});
+  ir::interpret(add_build_ir(32, true), {{"a", a}, {"b", b}, {"out", out2}});
+  EXPECT_EQ(out2.max_abs_diff(fused), 0.0f);
+}
+
+TEST(ScaleShiftIr, MatchesReference) {
+  Rng rng(5);
+  Tensor x = Tensor::random_uniform(Shape{2, 3, 4, 4}, rng);
+  Tensor scale = Tensor::random_uniform(Shape{3}, rng, 0.5f, 1.5f);
+  Tensor shift = Tensor::random_normal(Shape{3}, rng);
+  const Tensor expected = scale_shift_reference(x, scale, shift);
+  Tensor out = Tensor::zeros(x.shape());
+  ir::interpret(scale_shift_build_ir(2, 3, 16),
+                {{"data", x.reshape(Shape{2 * 3 * 16})},
+                 {"scale", scale},
+                 {"shift", shift},
+                 {"out", out.reshape(Shape{2 * 3 * 16})}});
+  // The interpreter evaluates in double precision; allow one float ulp.
+  EXPECT_LT(out.max_abs_diff(expected), 1e-6f);
+}
+
+TEST(IrKernels, VectorRemainderRejected) {
+  EXPECT_THROW(relu_build_ir(10, 4), Error);  // 10 % 4 != 0
+  EXPECT_THROW(add_build_ir(7, false, 2), Error);
+}
+
+}  // namespace
+}  // namespace igc::ops

@@ -1,0 +1,478 @@
+// Tests for the vision-specific operators (Sec. 3.1): prefix sum,
+// segmented argsort, box_nms, multibox, ROIAlign, and YOLO decode.
+// Every GPU implementation must match its reference exactly, and the
+// optimized variants must beat the naive ones on the simulated clock.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/rng.h"
+#include "ops/vision/nms.h"
+#include "ops/vision/prefix_sum.h"
+#include "ops/vision/roi_align.h"
+#include "ops/vision/segmented_sort.h"
+#include "ops/vision/yolo.h"
+#include "sim/simulator.h"
+
+namespace igc::ops {
+namespace {
+
+using sim::GpuSimulator;
+using sim::PlatformId;
+using sim::SimClock;
+
+GpuSimulator make_gpu(SimClock& clock, PlatformId id = PlatformId::kDeepLens) {
+  return GpuSimulator(sim::platform(id).gpu, clock);
+}
+
+// ---- prefix sum ----------------------------------------------------------
+
+TEST(PrefixSum, ReferenceInclusive) {
+  auto out = prefix_sum_reference({1, 2, 3, 4});
+  EXPECT_EQ(out, (std::vector<float>{1, 3, 6, 10}));
+}
+
+TEST(PrefixSum, PaperFigure3Example) {
+  // Fig. 3: 18 elements, 5 processors, final row of the figure.
+  const std::vector<float> in = {5, 7, 1, 1, 3, 4, 2, 0, 3,
+                                 1, 1, 2, 6, 1, 2, 3, 1, 3};
+  const std::vector<float> expect = {5,  12, 13, 14, 17, 21, 23, 23, 26,
+                                     27, 28, 30, 36, 37, 39, 42, 43, 46};
+  SimClock clock;
+  GpuSimulator gpu = make_gpu(clock);
+  EXPECT_EQ(prefix_sum_gpu(gpu, in, 5), expect);
+}
+
+class PrefixSumProperty : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(PrefixSumProperty, GpuMatchesReference) {
+  const int64_t n = GetParam();
+  Rng rng(static_cast<uint64_t>(n) + 1);
+  std::vector<float> in(static_cast<size_t>(n));
+  for (float& v : in) v = static_cast<float>(rng.next_int(0, 9));
+  const auto expected = prefix_sum_reference(in);
+  for (auto id : {PlatformId::kDeepLens, PlatformId::kAiSage, PlatformId::kJetsonNano}) {
+    SimClock clock;
+    GpuSimulator gpu = make_gpu(clock, id);
+    EXPECT_EQ(prefix_sum_gpu(gpu, in), expected);
+    SimClock clock2;
+    GpuSimulator gpu2 = make_gpu(clock2, id);
+    EXPECT_EQ(prefix_sum_gpu_naive(gpu2, in), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PrefixSumProperty,
+                         ::testing::Values(1, 2, 5, 17, 64, 100, 1000, 4096,
+                                           10000));
+
+TEST(PrefixSum, ThreeStageBeatsNaiveOnClock) {
+  Rng rng(3);
+  std::vector<float> in(100000);
+  for (float& v : in) v = rng.next_float(0.0f, 1.0f);
+  SimClock opt_clock, naive_clock;
+  GpuSimulator opt = make_gpu(opt_clock, PlatformId::kAiSage);
+  GpuSimulator naive = make_gpu(naive_clock, PlatformId::kAiSage);
+  prefix_sum_gpu(opt, in);
+  prefix_sum_gpu_naive(naive, in);
+  // Three launches vs log2(n) sync-heavy full passes.
+  EXPECT_LT(opt_clock.total_ms() * 3.0, naive_clock.total_ms());
+  EXPECT_EQ(opt_clock.events().size(), 3u);
+}
+
+TEST(PrefixSum, EmptyInput) {
+  SimClock clock;
+  GpuSimulator gpu = make_gpu(clock);
+  EXPECT_TRUE(prefix_sum_gpu(gpu, {}).empty());
+  EXPECT_TRUE(prefix_sum_gpu_naive(gpu, {}).empty());
+}
+
+// ---- segmented sort -------------------------------------------------------
+
+Segments uniform_segments(int64_t n, int64_t seg_len) {
+  Segments s;
+  for (int64_t off = 0; off <= n; off += seg_len) {
+    s.offsets.push_back(std::min(off, n));
+  }
+  if (s.offsets.back() != n) s.offsets.push_back(n);
+  return s;
+}
+
+Segments random_segments(int64_t n, int64_t num_segs, Rng& rng) {
+  std::vector<int64_t> cuts;
+  for (int64_t i = 0; i < num_segs - 1; ++i) cuts.push_back(rng.next_int(0, n));
+  std::sort(cuts.begin(), cuts.end());
+  Segments s;
+  s.offsets.push_back(0);
+  for (int64_t c : cuts) s.offsets.push_back(c);
+  s.offsets.push_back(n);
+  return s;
+}
+
+TEST(SegmentedSort, ReferenceSortsEachSegment) {
+  const std::vector<float> v = {3, 1, 2, /*|*/ 9, 8, /*|*/ 5};
+  Segments segs;
+  segs.offsets = {0, 3, 5, 6};
+  auto idx = segmented_argsort_reference(v, segs);
+  EXPECT_EQ(idx, (std::vector<int32_t>{1, 2, 0, 4, 3, 5}));
+}
+
+TEST(SegmentedSort, DescendingWithTies) {
+  const std::vector<float> v = {1, 2, 2, 3};
+  Segments segs;
+  segs.offsets = {0, 4};
+  auto idx = segmented_argsort_reference(v, segs, true);
+  // Ties broken by original index (stable).
+  EXPECT_EQ(idx, (std::vector<int32_t>{3, 1, 2, 0}));
+}
+
+class SegmentedSortProperty
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, bool>> {};
+
+TEST_P(SegmentedSortProperty, GpuVariantsMatchReference) {
+  const auto [n, num_segs, descending] = GetParam();
+  Rng rng(static_cast<uint64_t>(n * 31 + num_segs));
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) x = static_cast<float>(rng.next_int(0, 50));  // many ties
+  const Segments segs = random_segments(n, num_segs, rng);
+  const auto expected = segmented_argsort_reference(v, segs, descending);
+  for (auto id : {PlatformId::kDeepLens, PlatformId::kAiSage, PlatformId::kJetsonNano}) {
+    SimClock c1, c2;
+    GpuSimulator g1 = make_gpu(c1, id);
+    GpuSimulator g2 = make_gpu(c2, id);
+    EXPECT_EQ(segmented_argsort_gpu(g1, v, segs, descending), expected);
+    EXPECT_EQ(segmented_argsort_gpu_naive(g2, v, segs, descending), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SegmentedSortProperty,
+    ::testing::Values(std::make_tuple(10, 1, false),
+                      std::make_tuple(100, 7, false),
+                      std::make_tuple(100, 7, true),
+                      std::make_tuple(1000, 3, false),
+                      std::make_tuple(1000, 50, true),
+                      std::make_tuple(257, 13, false),
+                      std::make_tuple(5000, 2, true),
+                      std::make_tuple(64, 64, false)));
+
+TEST(SegmentedSort, EmptySegmentsHandled) {
+  const std::vector<float> v = {2, 1};
+  Segments segs;
+  segs.offsets = {0, 0, 2, 2};  // segments 0 and 2 empty
+  SimClock clock;
+  GpuSimulator gpu = make_gpu(clock);
+  auto idx = segmented_argsort_gpu(gpu, v, segs);
+  EXPECT_EQ(idx, (std::vector<int32_t>{1, 0}));
+}
+
+TEST(SegmentedSort, SmallBlockSizeForcesManyMergeRounds) {
+  Rng rng(5);
+  std::vector<float> v(512);
+  for (float& x : v) x = rng.next_float(0.0f, 1.0f);
+  Segments segs = uniform_segments(512, 100);
+  const auto expected = segmented_argsort_reference(v, segs);
+  SimClock clock;
+  GpuSimulator gpu = make_gpu(clock);
+  EXPECT_EQ(segmented_argsort_gpu(gpu, v, segs, false, /*block_size=*/16),
+            expected);
+  // 512/16 = 32 blocks -> 5 merge rounds + block sort = 6 kernel events.
+  EXPECT_EQ(clock.events().size(), 6u);
+}
+
+TEST(SegmentedSort, BalancedBeatsNaiveOnSkewedSegments) {
+  // One huge segment and many tiny ones: the paper's motivating case.
+  Rng rng(9);
+  const int64_t n = 20000;
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) x = rng.next_float(0.0f, 1.0f);
+  Segments segs;
+  segs.offsets = {0, 18000};
+  for (int64_t off = 18000 + 100; off <= n; off += 100) segs.offsets.push_back(off);
+  SimClock opt_clock, naive_clock;
+  GpuSimulator opt = make_gpu(opt_clock, PlatformId::kAiSage);
+  GpuSimulator naive = make_gpu(naive_clock, PlatformId::kAiSage);
+  const auto a = segmented_argsort_gpu(opt, v, segs);
+  const auto b = segmented_argsort_gpu_naive(naive, v, segs);
+  EXPECT_EQ(a, b);
+  EXPECT_LT(opt_clock.total_ms() * 5.0, naive_clock.total_ms());
+}
+
+// ---- box utilities & NMS ---------------------------------------------------
+
+TEST(BoxIou, KnownValues) {
+  const float a[4] = {0, 0, 2, 2};
+  const float b[4] = {1, 1, 3, 3};
+  EXPECT_NEAR(box_iou(a, b), 1.0f / 7.0f, 1e-6f);
+  const float c[4] = {5, 5, 6, 6};
+  EXPECT_EQ(box_iou(a, c), 0.0f);
+  EXPECT_NEAR(box_iou(a, a), 1.0f, 1e-6f);
+}
+
+Tensor make_boxes(int64_t batch, int64_t n, int64_t num_classes, Rng& rng) {
+  Tensor t(Shape{batch, n, 6}, DType::kFloat32);
+  float* p = t.data_f32();
+  for (int64_t i = 0; i < batch * n; ++i) {
+    const float x1 = rng.next_float(0.0f, 0.9f);
+    const float y1 = rng.next_float(0.0f, 0.9f);
+    p[i * 6 + 0] = static_cast<float>(rng.next_int(0, num_classes - 1));
+    p[i * 6 + 1] = rng.next_float(0.0f, 1.0f);
+    p[i * 6 + 2] = x1;
+    p[i * 6 + 3] = y1;
+    p[i * 6 + 4] = x1 + rng.next_float(0.05f, 0.3f);
+    p[i * 6 + 5] = y1 + rng.next_float(0.05f, 0.3f);
+  }
+  return t;
+}
+
+TEST(BoxNms, SuppressesOverlapsKeepsHighestScore) {
+  // Two heavily overlapping boxes + one far away.
+  Tensor in = Tensor::from_vector(
+      Shape{1, 3, 6},
+      {0, 0.9f, 0.0f, 0.0f, 1.0f, 1.0f,
+       0, 0.8f, 0.05f, 0.05f, 1.0f, 1.0f,
+       0, 0.7f, 5.0f, 5.0f, 6.0f, 6.0f});
+  NmsParams p;
+  p.iou_threshold = 0.5f;
+  Tensor out = box_nms_reference(in, p);
+  const float* o = out.data_f32();
+  EXPECT_FLOAT_EQ(o[1], 0.9f);   // best kept first
+  EXPECT_FLOAT_EQ(o[6 + 1], 0.7f);  // far box second
+  EXPECT_FLOAT_EQ(o[12 + 0], -1.0f);  // suppressed row invalid
+}
+
+TEST(BoxNms, ClassAwareUnlessForceSuppress) {
+  Tensor in = Tensor::from_vector(
+      Shape{1, 2, 6},
+      {0, 0.9f, 0.0f, 0.0f, 1.0f, 1.0f,
+       1, 0.8f, 0.0f, 0.0f, 1.0f, 1.0f});
+  NmsParams p;
+  p.iou_threshold = 0.5f;
+  p.force_suppress = false;
+  Tensor out = box_nms_reference(in, p);
+  EXPECT_FLOAT_EQ(out.data_f32()[6 + 1], 0.8f);  // different class survives
+  p.force_suppress = true;
+  Tensor out2 = box_nms_reference(in, p);
+  EXPECT_FLOAT_EQ(out2.data_f32()[6 + 0], -1.0f);  // now suppressed
+}
+
+TEST(BoxNms, ValidThreshAndTopk) {
+  Tensor in = Tensor::from_vector(
+      Shape{1, 3, 6},
+      {0, 0.9f, 0, 0, 1, 1,
+       0, 0.005f, 2, 2, 3, 3,   // below valid_thresh
+       0, 0.5f, 4, 4, 5, 5});
+  NmsParams p;
+  p.valid_thresh = 0.01f;
+  Tensor out = box_nms_reference(in, p);
+  EXPECT_FLOAT_EQ(out.data_f32()[1], 0.9f);
+  EXPECT_FLOAT_EQ(out.data_f32()[6 + 1], 0.5f);
+  EXPECT_FLOAT_EQ(out.data_f32()[12], -1.0f);
+  p.topk = 1;  // only the best candidate considered
+  Tensor out2 = box_nms_reference(in, p);
+  EXPECT_FLOAT_EQ(out2.data_f32()[6], -1.0f);
+}
+
+class BoxNmsProperty
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, bool>> {};
+
+TEST_P(BoxNmsProperty, GpuVariantsMatchReference) {
+  const auto [batch, n, force] = GetParam();
+  Rng rng(static_cast<uint64_t>(batch * 100 + n));
+  Tensor in = make_boxes(batch, n, 4, rng);
+  NmsParams p;
+  p.iou_threshold = 0.45f;
+  p.force_suppress = force;
+  const Tensor expected = box_nms_reference(in, p);
+  for (auto id : {PlatformId::kDeepLens, PlatformId::kAiSage, PlatformId::kJetsonNano}) {
+    SimClock c1, c2;
+    GpuSimulator g1 = make_gpu(c1, id);
+    GpuSimulator g2 = make_gpu(c2, id);
+    EXPECT_EQ(box_nms_gpu(g1, in, p).max_abs_diff(expected), 0.0f);
+    EXPECT_EQ(box_nms_gpu_naive(g2, in, p).max_abs_diff(expected), 0.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, BoxNmsProperty,
+                         ::testing::Values(std::make_tuple(1, 50, false),
+                                           std::make_tuple(1, 50, true),
+                                           std::make_tuple(4, 200, false),
+                                           std::make_tuple(2, 1000, true)));
+
+TEST(BoxNms, OptimizedBeatsNaiveOnClock) {
+  Rng rng(77);
+  Tensor in = make_boxes(1, 5000, 20, rng);
+  NmsParams p;
+  SimClock c1, c2;
+  GpuSimulator g1 = make_gpu(c1, PlatformId::kAiSage);
+  GpuSimulator g2 = make_gpu(c2, PlatformId::kAiSage);
+  box_nms_gpu(g1, in, p);
+  box_nms_gpu_naive(g2, in, p);
+  EXPECT_LT(c1.total_ms() * 2.0, c2.total_ms());
+}
+
+// ---- multibox --------------------------------------------------------------
+
+TEST(MultiboxPrior, CountAndCenters) {
+  MultiboxPriorParams p;
+  p.feature_h = 2;
+  p.feature_w = 2;
+  p.sizes = {0.2f, 0.4f};
+  p.ratios = {1.0f, 2.0f};
+  Tensor priors = multibox_prior_reference(p);
+  // A = 2 + 2 - 1 = 3 anchors per cell, 4 cells.
+  EXPECT_EQ(priors.shape(), Shape({12, 4}));
+  // First anchor of first cell: center (0.25, 0.25), size 0.2, ratio 1.
+  const float* a = priors.data_f32();
+  EXPECT_NEAR(a[0], 0.25f - 0.1f, 1e-6f);
+  EXPECT_NEAR(a[1], 0.25f - 0.1f, 1e-6f);
+  EXPECT_NEAR(a[2], 0.25f + 0.1f, 1e-6f);
+}
+
+TEST(MultiboxPrior, RatioStretchesWidth) {
+  MultiboxPriorParams p;
+  p.sizes = {0.5f};
+  p.ratios = {1.0f, 4.0f};
+  Tensor priors = multibox_prior_reference(p);
+  const float* a = priors.data_f32();
+  const float w0 = a[2] - a[0];
+  const float w1 = a[4 + 2] - a[4 + 0];
+  const float h1 = a[4 + 3] - a[4 + 1];
+  EXPECT_NEAR(w1 / w0, 2.0f, 1e-5f);  // sqrt(4) = 2x wider
+  EXPECT_NEAR(w1 * 0.25f, h1, 1e-5f);
+}
+
+TEST(MultiboxDetection, DecodeZeroDeltasReproducesAnchor) {
+  const int64_t n = 4;
+  Tensor anchors = multibox_prior_reference(
+      {2, 2, {0.3f}, {1.0f}});
+  ASSERT_EQ(anchors.shape()[0], n);
+  Tensor cls = Tensor::zeros(Shape{1, 3, n});
+  // Anchor 2 strongly class 1 (index 2 in prob rows).
+  cls.data_f32()[1 * n + 2] = 0.9f;
+  Tensor loc = Tensor::zeros(Shape{1, n * 4});
+  MultiboxDetectionParams p;
+  Tensor out = multibox_detection_reference(cls, cls.reshape(Shape{1, 3 * n})
+                                                     .defined()
+                                                ? loc
+                                                : loc,
+                                            anchors, p);
+  const float* o = out.data_f32();
+  EXPECT_FLOAT_EQ(o[0], 0.0f);  // class_id 0 (= argmax 1 - 1)
+  EXPECT_FLOAT_EQ(o[1], 0.9f);
+  // Zero deltas: decoded box equals the anchor.
+  const float* a = anchors.data_f32() + 2 * 4;
+  EXPECT_NEAR(o[2], a[0], 1e-5f);
+  EXPECT_NEAR(o[5], a[3], 1e-5f);
+}
+
+TEST(MultiboxDetection, GpuMatchesReference) {
+  Rng rng(41);
+  const int64_t n = 100;
+  MultiboxPriorParams pp;
+  pp.feature_h = 10;
+  pp.feature_w = 10;
+  pp.sizes = {0.2f};
+  pp.ratios = {1.0f};
+  Tensor anchors = multibox_prior_reference(pp);
+  ASSERT_EQ(anchors.shape()[0], n);
+  Tensor cls = Tensor::random_uniform(Shape{2, 5, n}, rng, 0.0f, 1.0f);
+  Tensor loc = Tensor::random_normal(Shape{2, n * 4}, rng, 0.5f);
+  MultiboxDetectionParams p;
+  const Tensor expected = multibox_detection_reference(cls, loc, anchors, p);
+  SimClock clock;
+  GpuSimulator gpu = make_gpu(clock, PlatformId::kJetsonNano);
+  const Tensor got = multibox_detection_gpu(gpu, cls, loc, anchors, p);
+  EXPECT_EQ(got.max_abs_diff(expected), 0.0f);
+  EXPECT_GT(clock.total_ms(), 0.0);
+}
+
+// ---- ROIAlign ---------------------------------------------------------------
+
+TEST(RoiAlign, ConstantFeatureGivesConstantOutput) {
+  Tensor feat = Tensor::full(Shape{1, 2, 8, 8}, 3.0f);
+  Tensor rois = Tensor::from_vector(Shape{1, 5}, {0, 1, 1, 6, 6});
+  RoiAlignParams p;
+  p.pooled_h = p.pooled_w = 2;
+  Tensor out = roi_align_reference(feat, rois, p);
+  EXPECT_EQ(out.shape(), Shape({1, 2, 2, 2}));
+  for (float v : out.span_f32()) EXPECT_NEAR(v, 3.0f, 1e-5f);
+}
+
+TEST(RoiAlign, LinearRampIsInterpolatedExactly) {
+  // f(y, x) = x: bilinear sampling of a linear function is exact.
+  Tensor feat = Tensor::zeros(Shape{1, 1, 8, 8});
+  for (int64_t y = 0; y < 8; ++y) {
+    for (int64_t x = 0; x < 8; ++x) {
+      feat.at4(0, 0, y, x) = static_cast<float>(x);
+    }
+  }
+  Tensor rois = Tensor::from_vector(Shape{1, 5}, {0, 2, 2, 6, 6});
+  RoiAlignParams p;
+  p.pooled_h = p.pooled_w = 2;
+  p.sampling_ratio = 2;
+  Tensor out = roi_align_reference(feat, rois, p);
+  // Bin centers along x: 3 and 5.
+  EXPECT_NEAR(out.data_f32()[0], 3.0f, 1e-5f);
+  EXPECT_NEAR(out.data_f32()[1], 5.0f, 1e-5f);
+}
+
+TEST(RoiAlign, GpuMatchesReferenceAndChargesTime) {
+  Rng rng(55);
+  Tensor feat = Tensor::random_uniform(Shape{2, 4, 16, 16}, rng);
+  Tensor rois = Tensor::from_vector(
+      Shape{3, 5}, {0, 1, 1, 10, 10, 1, 0, 0, 15, 15, 0, 4, 6, 9, 12});
+  RoiAlignParams p;
+  const Tensor expected = roi_align_reference(feat, rois, p);
+  SimClock clock;
+  GpuSimulator gpu = make_gpu(clock);
+  const Tensor got = roi_align_gpu(gpu, feat, rois, p);
+  EXPECT_EQ(got.max_abs_diff(expected), 0.0f);
+  EXPECT_GT(clock.total_ms(), 0.0);
+}
+
+// ---- YOLO decode ------------------------------------------------------------
+
+TEST(YoloDecode, CenterCellZeroActivation) {
+  YoloDecodeParams p;
+  p.num_classes = 2;
+  p.anchors = {{32.0f, 64.0f}};
+  p.input_size = 128;
+  p.conf_thresh = 0.0f;
+  Tensor head = Tensor::zeros(Shape{1, 7, 1, 1});  // 1 anchor * (5+2), 1x1 grid
+  Tensor out = yolo_decode_reference(head, p);
+  const float* o = out.data_f32();
+  // sigmoid(0) = 0.5: center (0.5, 0.5); w = 32/128 = 0.25, h = 0.5.
+  EXPECT_FLOAT_EQ(o[1], 0.25f);  // obj * best = 0.5 * 0.5
+  EXPECT_NEAR(o[2], 0.5f - 0.125f, 1e-5f);
+  EXPECT_NEAR(o[3], 0.5f - 0.25f, 1e-5f);
+  EXPECT_NEAR(o[4], 0.5f + 0.125f, 1e-5f);
+}
+
+TEST(YoloDecode, ConfThreshMarksInvalid) {
+  YoloDecodeParams p;
+  p.num_classes = 2;
+  p.anchors = {{32.0f, 32.0f}};
+  p.conf_thresh = 0.9f;  // sigmoid(0)^2 = 0.25 < 0.9
+  Tensor head = Tensor::zeros(Shape{1, 7, 2, 2});
+  Tensor out = yolo_decode_reference(head, p);
+  for (int64_t i = 0; i < out.shape()[1]; ++i) {
+    EXPECT_FLOAT_EQ(out.data_f32()[i * 6], -1.0f);
+  }
+}
+
+TEST(YoloDecode, GpuMatchesReference) {
+  Rng rng(66);
+  YoloDecodeParams p;
+  p.num_classes = 20;
+  p.anchors = {{10, 13}, {16, 30}, {33, 23}};
+  p.input_size = 416;
+  Tensor head = Tensor::random_normal(Shape{1, 3 * 25, 13, 13}, rng, 1.0f);
+  const Tensor expected = yolo_decode_reference(head, p);
+  SimClock clock;
+  GpuSimulator gpu = make_gpu(clock, PlatformId::kJetsonNano);
+  EXPECT_EQ(yolo_decode_gpu(gpu, head, p).max_abs_diff(expected), 0.0f);
+}
+
+}  // namespace
+}  // namespace igc::ops

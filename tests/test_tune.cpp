@@ -1,0 +1,249 @@
+// Tests for the AutoTVM-style tuner: config spaces, the cost model, the
+// search strategies, and the tuning database.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "ops/nn/conv2d.h"
+#include "sim/device_spec.h"
+#include "tune/config.h"
+#include "tune/conv_tuner.h"
+#include "tune/cost_model.h"
+#include "tune/tunedb.h"
+#include "tune/tuner.h"
+
+namespace igc::tune {
+namespace {
+
+TEST(ConfigSpace, MixedRadixEnumeration) {
+  ConfigSpace s;
+  s.add_knob("a", {1, 2, 4});
+  s.add_knob("b", {10, 20});
+  EXPECT_EQ(s.size(), 6);
+  // Every index decodes to a distinct config.
+  std::set<std::string> seen;
+  for (int64_t i = 0; i < s.size(); ++i) seen.insert(s.at(i).str());
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_THROW(s.at(6), Error);
+  EXPECT_EQ(s.default_config().at("a"), 1);
+  EXPECT_EQ(s.default_config().at("b"), 10);
+}
+
+TEST(ConfigSpace, RandomIsInSpace) {
+  ConfigSpace s;
+  s.add_knob("x", {3, 5, 7});
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const int64_t v = s.random(rng).at("x");
+    EXPECT_TRUE(v == 3 || v == 5 || v == 7);
+  }
+}
+
+TEST(TileCandidates, DivisorsOnly) {
+  EXPECT_EQ(tile_candidates(12), (std::vector<int64_t>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(tile_candidates(7), (std::vector<int64_t>{1, 7}));
+  EXPECT_EQ(tile_candidates(13), (std::vector<int64_t>{1}));
+  EXPECT_EQ(tile_candidates(64, 8), (std::vector<int64_t>{1, 2, 4, 8}));
+}
+
+TEST(ScheduleConfig, CanonicalStringAndParseRoundTrip) {
+  ScheduleConfig c;
+  c.set("vec", 8);
+  c.set("tile_oc", 4);
+  EXPECT_EQ(c.str(), "tile_oc=4;vec=8");
+  const ScheduleConfig parsed = parse_config(c.str());
+  EXPECT_EQ(parsed, c);
+  EXPECT_EQ(c.get_or("missing", 7), 7);
+  EXPECT_THROW(c.at("missing"), Error);
+}
+
+TEST(CostModel, LearnsAMonotoneFunction) {
+  // y = 10 - f0 (smaller latency for bigger knob): the model must rank
+  // correctly.
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int v = 0; v < 16; ++v) {
+    xs.push_back({static_cast<double>(v), 1.0});
+    ys.push_back(10.0 - 0.5 * v);
+  }
+  CostModel m;
+  m.fit(xs, ys);
+  EXPECT_TRUE(m.trained());
+  EXPECT_GT(m.predict({1.0, 1.0}), m.predict({14.0, 1.0}));
+  // Absolute accuracy is decent on the training set.
+  EXPECT_NEAR(m.predict({8.0, 1.0}), 6.0, 1.0);
+}
+
+TEST(CostModel, HandlesConstantTarget) {
+  std::vector<std::vector<double>> xs{{0.0}, {1.0}, {2.0}};
+  std::vector<double> ys{5.0, 5.0, 5.0};
+  CostModel m;
+  m.fit(xs, ys);
+  EXPECT_NEAR(m.predict({1.0}), 5.0, 1e-9);
+}
+
+ops::Conv2dParams resnet_conv() {
+  ops::Conv2dParams p;
+  p.in_channels = 64;
+  p.out_channels = 64;
+  p.in_h = p.in_w = 56;
+  p.kernel_h = p.kernel_w = 3;
+  p.pad_h = p.pad_w = 1;
+  return p;
+}
+
+TEST(Tuner, NeverWorseThanDefaultAndImproves) {
+  const auto& dev = sim::platform(sim::PlatformId::kJetsonNano).gpu;
+  const auto p = resnet_conv();
+  const ConfigSpace space = ops::conv2d_config_space(p, dev);
+  const MeasureFn measure = [&](const ScheduleConfig& cfg) {
+    return ops::conv2d_latency_ms(p, cfg, dev);
+  };
+  for (auto strategy : {SearchStrategy::kRandom,
+                        SearchStrategy::kSimulatedAnnealing,
+                        SearchStrategy::kModelGuided}) {
+    TuneOptions opts;
+    opts.strategy = strategy;
+    opts.n_trials = 96;
+    const TuneResult r = tune(space, measure, opts);
+    EXPECT_LE(r.best_ms, r.default_ms);
+    // The naive default schedule is far from optimal on every device.
+    EXPECT_LT(r.best_ms * 2.0, r.default_ms)
+        << "strategy " << static_cast<int>(strategy);
+    EXPECT_EQ(r.trials, 96);
+  }
+}
+
+TEST(Tuner, ModelGuidedBeatsOrMatchesRandomOnSmallBudget) {
+  const auto& dev = sim::platform(sim::PlatformId::kDeepLens).gpu;
+  const auto p = resnet_conv();
+  const ConfigSpace space = ops::conv2d_config_space(p, dev);
+  const MeasureFn measure = [&](const ScheduleConfig& cfg) {
+    return ops::conv2d_latency_ms(p, cfg, dev);
+  };
+  TuneOptions opts;
+  opts.n_trials = 64;
+  opts.strategy = SearchStrategy::kModelGuided;
+  const double guided = tune(space, measure, opts).best_ms;
+  opts.strategy = SearchStrategy::kRandom;
+  const double random = tune(space, measure, opts).best_ms;
+  // Allow slack: both find decent configs; guided must not be much worse.
+  EXPECT_LT(guided, random * 1.15);
+}
+
+TEST(Tuner, DeterministicForFixedSeed) {
+  const auto& dev = sim::platform(sim::PlatformId::kAiSage).gpu;
+  const auto p = resnet_conv();
+  const ConfigSpace space = ops::conv2d_config_space(p, dev);
+  const MeasureFn measure = [&](const ScheduleConfig& cfg) {
+    return ops::conv2d_latency_ms(p, cfg, dev);
+  };
+  TuneOptions opts;
+  opts.n_trials = 40;
+  const TuneResult a = tune(space, measure, opts);
+  const TuneResult b = tune(space, measure, opts);
+  EXPECT_EQ(a.best_config, b.best_config);
+  EXPECT_EQ(a.best_ms, b.best_ms);
+}
+
+TEST(TuneDb, PutGetAndKeying) {
+  TuneDb db;
+  TuneRecord rec;
+  rec.config.set("vec", 8);
+  rec.best_ms = 1.5;
+  rec.default_ms = 9.0;
+  const std::string key = TuneDb::make_key("devA", "conv_x", 4);
+  db.put(key, rec);
+  EXPECT_TRUE(db.contains(key));
+  EXPECT_FALSE(db.contains(TuneDb::make_key("devA", "conv_x", 8)));
+  auto got = db.get(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->config.at("vec"), 8);
+  EXPECT_DOUBLE_EQ(got->best_ms, 1.5);
+}
+
+TEST(TuneDb, SerializeRoundTrip) {
+  TuneDb db;
+  for (int i = 0; i < 5; ++i) {
+    TuneRecord rec;
+    rec.config.set("tile_oc", 1 << i);
+    rec.config.set("vec", 4);
+    rec.best_ms = 0.5 * (i + 1);
+    rec.default_ms = 2.0 * (i + 1);
+    db.put(TuneDb::make_key("dev", "wl" + std::to_string(i), 1), rec);
+  }
+  const TuneDb db2 = TuneDb::deserialize(db.serialize());
+  EXPECT_EQ(db2.size(), 5u);
+  auto got = db2.get(TuneDb::make_key("dev", "wl3", 1));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->config.at("tile_oc"), 8);
+  EXPECT_DOUBLE_EQ(got->default_ms, 8.0);
+}
+
+TEST(TuneDb, FileRoundTrip) {
+  TuneDb db;
+  TuneRecord rec;
+  rec.config.set("vec", 2);
+  rec.best_ms = 3.25;
+  rec.default_ms = 7.5;
+  db.put("k", rec);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "igc_tunedb_test.txt").string();
+  db.save(path);
+  const TuneDb loaded = TuneDb::load(path);
+  EXPECT_EQ(loaded.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.get("k")->best_ms, 3.25);
+  std::remove(path.c_str());
+}
+
+TEST(ConvTuner, CachesInDatabase) {
+  const auto& dev = sim::platform(sim::PlatformId::kJetsonNano).gpu;
+  const auto p = resnet_conv();
+  TuneDb db;
+  TuneOptions opts;
+  opts.n_trials = 32;
+  const TuneRecord r1 = tune_conv2d(p, dev, 1, db, opts);
+  EXPECT_EQ(db.size(), 1u);
+  const TuneRecord r2 = tune_conv2d(p, dev, 1, db, opts);  // cache hit
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_DOUBLE_EQ(r1.best_ms, r2.best_ms);
+  // A different layout block is a separate entry.
+  tune_conv2d(p, dev, 8, db, opts);
+  EXPECT_EQ(db.size(), 2u);
+}
+
+TEST(ConvTuner, LookupFallsBackToManualSchedule) {
+  const auto& dev = sim::platform(sim::PlatformId::kDeepLens).gpu;
+  const auto p = resnet_conv();
+  const ScheduleConfig cfg = lookup_or_default(p, dev, 1, nullptr);
+  // The untuned fallback is the hand-written template.
+  EXPECT_EQ(cfg, [&] {
+    auto manual = ops::conv2d_manual_schedule(p, dev);
+    manual.set("layout_block", 1);
+    return manual;
+  }());
+  EXPECT_EQ(cfg.at("tile_oc"), 8);
+  EXPECT_EQ(cfg.at("wg"), 256);
+  EXPECT_EQ(cfg.at("use_subgroup"), 0);
+}
+
+TEST(ConvTuner, ManualScheduleRespectsDivisibility) {
+  const auto& dev = sim::platform(sim::PlatformId::kAiSage).gpu;
+  ops::Conv2dParams p;
+  p.in_channels = 3;
+  p.out_channels = 7;  // prime: only tile_oc=1 and 7 divide
+  p.in_h = p.in_w = 10;
+  const ScheduleConfig cfg = ops::conv2d_manual_schedule(p, dev);
+  EXPECT_EQ(cfg.at("tile_oc"), 7);
+  EXPECT_EQ(cfg.at("vec"), 4);  // capped at the device SIMD width
+  // Depthwise: tile_oc degenerates to 1 (the template's blind spot).
+  ops::Conv2dParams dw;
+  dw.in_channels = dw.out_channels = 32;
+  dw.groups = 32;
+  dw.in_h = dw.in_w = 10;
+  EXPECT_EQ(ops::conv2d_manual_schedule(dw, dev).at("tile_oc"), 1);
+}
+
+}  // namespace
+}  // namespace igc::tune

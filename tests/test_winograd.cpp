@@ -1,0 +1,124 @@
+// Tests for the Winograd F(2x2,3x3) convolution template and the
+// direct-vs-winograd algorithm chooser.
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "ops/nn/winograd.h"
+#include "sim/device_spec.h"
+
+namespace igc::ops {
+namespace {
+
+Conv2dParams conv3x3(int64_t ci, int64_t co, int64_t hw, int64_t pad = 1) {
+  Conv2dParams p;
+  p.in_channels = ci;
+  p.out_channels = co;
+  p.in_h = p.in_w = hw;
+  p.kernel_h = p.kernel_w = 3;
+  p.pad_h = p.pad_w = pad;
+  return p;
+}
+
+TEST(Winograd, Applicability) {
+  EXPECT_TRUE(winograd_applicable(conv3x3(16, 16, 14)));
+  Conv2dParams strided = conv3x3(16, 16, 14);
+  strided.stride_h = strided.stride_w = 2;
+  EXPECT_FALSE(winograd_applicable(strided));
+  Conv2dParams k1 = conv3x3(16, 16, 14);
+  k1.kernel_h = k1.kernel_w = 1;
+  k1.pad_h = k1.pad_w = 0;
+  EXPECT_FALSE(winograd_applicable(k1));
+  Conv2dParams grouped = conv3x3(16, 16, 14);
+  grouped.groups = 4;
+  EXPECT_FALSE(winograd_applicable(grouped));
+}
+
+TEST(Winograd, IdentityFilterPassesThrough) {
+  // A 3x3 filter with only the center set to 1 copies the input.
+  Conv2dParams p = conv3x3(1, 1, 8);
+  Tensor w = Tensor::zeros(Shape{1, 1, 3, 3});
+  w.data_f32()[4] = 1.0f;
+  Rng rng(1);
+  Tensor in = Tensor::random_uniform(Shape{1, 1, 8, 8}, rng);
+  Tensor out = conv2d_winograd(in, w, nullptr, p);
+  EXPECT_LT(out.max_abs_diff(in), 1e-5f);
+}
+
+class WinogradEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(WinogradEquivalence, MatchesDirectReference) {
+  const auto [ci, co, hw, pad] = GetParam();
+  const Conv2dParams p = conv3x3(ci, co, hw, pad);
+  ASSERT_TRUE(winograd_applicable(p));
+  Rng rng(static_cast<uint64_t>(ci * 100 + hw));
+  Tensor in = Tensor::random_uniform(
+      Shape{p.batch, p.in_channels, p.in_h, p.in_w}, rng);
+  Tensor w = Tensor::random_uniform(Shape{co, ci, 3, 3}, rng);
+  Tensor b = Tensor::random_uniform(Shape{co}, rng);
+  const Tensor direct = conv2d_reference(in, w, &b, p);
+  const Tensor wino = conv2d_winograd(in, w, &b, p);
+  // Winograd reassociates floating point; tolerance scales with reduction.
+  EXPECT_LT(wino.max_abs_diff(direct), 1e-3f)
+      << "ci=" << ci << " co=" << co << " hw=" << hw << " pad=" << pad;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WinogradEquivalence,
+    ::testing::Values(std::make_tuple(1, 1, 6, 1),    // trivial
+                      std::make_tuple(8, 16, 14, 1),  // even output
+                      std::make_tuple(8, 16, 15, 1),  // odd output (edge tile)
+                      std::make_tuple(16, 8, 7, 1),   // small odd map
+                      std::make_tuple(4, 4, 9, 0),    // no padding
+                      std::make_tuple(32, 32, 28, 1)));
+
+TEST(Winograd, FlopAdvantageInCostModel) {
+  // The winograd kernel's charged FLOPs must be well below the direct
+  // conv's 9-multiplies-per-output for a wide layer.
+  const Conv2dParams p = conv3x3(128, 128, 28);
+  const auto& dev = sim::platform(sim::PlatformId::kJetsonNano).gpu;
+  const auto cfg = winograd_config_space(p, dev).default_config();
+  const auto k = winograd_kernel_cost(p, cfg, dev);
+  // 16/4 = 4 multiplies per output vs 9: ~2.25x fewer, plus transforms.
+  EXPECT_LT(k.flops, p.flops() * 0.6);
+  EXPECT_GT(k.flops, p.flops() / 4);
+}
+
+TEST(Winograd, ChooserPrefersWinogradOnWideLayers) {
+  const auto& dev = sim::platform(sim::PlatformId::kJetsonNano).gpu;
+  tune::TuneOptions opts;
+  opts.n_trials = 48;
+  const AlgorithmChoice wide =
+      conv2d_best_algorithm(conv3x3(256, 256, 14), dev, opts);
+  EXPECT_EQ(wide.algorithm, ConvAlgorithm::kWinograd);
+  EXPECT_LT(wide.winograd_ms, wide.direct_ms);
+}
+
+TEST(Winograd, ChooserFallsBackWhenNotApplicable) {
+  const auto& dev = sim::platform(sim::PlatformId::kDeepLens).gpu;
+  Conv2dParams p = conv3x3(64, 64, 28);
+  p.stride_h = p.stride_w = 2;
+  tune::TuneOptions opts;
+  opts.n_trials = 24;
+  const AlgorithmChoice c = conv2d_best_algorithm(p, dev, opts);
+  EXPECT_EQ(c.algorithm, ConvAlgorithm::kDirect);
+  EXPECT_TRUE(std::isinf(c.winograd_ms));
+}
+
+TEST(Winograd, CostSaneAcrossDevicesAndConfigs) {
+  const Conv2dParams p = conv3x3(64, 64, 28);
+  for (const auto& plat : sim::all_platforms()) {
+    auto space = winograd_config_space(p, plat.gpu);
+    Rng rng(3);
+    for (int t = 0; t < 16; ++t) {
+      const auto cfg = space.random(rng);
+      const auto k = winograd_kernel_cost(p, cfg, plat.gpu);
+      EXPECT_GT(k.compute_efficiency, 0.0);
+      EXPECT_LE(k.compute_efficiency, 1.0);
+      EXPECT_GT(winograd_latency_ms(p, cfg, plat.gpu), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace igc::ops

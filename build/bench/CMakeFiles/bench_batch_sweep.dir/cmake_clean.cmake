@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_sweep.dir/bench_batch_sweep.cpp.o"
+  "CMakeFiles/bench_batch_sweep.dir/bench_batch_sweep.cpp.o.d"
+  "bench_batch_sweep"
+  "bench_batch_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_prefix_sum.dir/bench_fig3_prefix_sum.cpp.o"
+  "CMakeFiles/bench_fig3_prefix_sum.dir/bench_fig3_prefix_sum.cpp.o.d"
+  "bench_fig3_prefix_sum"
+  "bench_fig3_prefix_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_prefix_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_deeplens.dir/bench_table1_deeplens.cpp.o"
+  "CMakeFiles/bench_table1_deeplens.dir/bench_table1_deeplens.cpp.o.d"
+  "bench_table1_deeplens"
+  "bench_table1_deeplens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_deeplens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

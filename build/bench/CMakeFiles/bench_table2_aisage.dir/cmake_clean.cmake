@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_aisage.dir/bench_table2_aisage.cpp.o"
+  "CMakeFiles/bench_table2_aisage.dir/bench_table2_aisage.cpp.o.d"
+  "bench_table2_aisage"
+  "bench_table2_aisage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_aisage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_nano.dir/bench_table3_nano.cpp.o"
+  "CMakeFiles/bench_table3_nano.dir/bench_table3_nano.cpp.o.d"
+  "bench_table3_nano"
+  "bench_table3_nano.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_nano.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

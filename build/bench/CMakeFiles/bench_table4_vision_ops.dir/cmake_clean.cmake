@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_vision_ops.dir/bench_table4_vision_ops.cpp.o"
+  "CMakeFiles/bench_table4_vision_ops.dir/bench_table4_vision_ops.cpp.o.d"
+  "bench_table4_vision_ops"
+  "bench_table4_vision_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_vision_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

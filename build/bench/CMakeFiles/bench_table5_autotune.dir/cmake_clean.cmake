@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_autotune.dir/bench_table5_autotune.cpp.o"
+  "CMakeFiles/bench_table5_autotune.dir/bench_table5_autotune.cpp.o.d"
+  "bench_table5_autotune"
+  "bench_table5_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_conv.dir/autotune_conv.cpp.o"
+  "CMakeFiles/autotune_conv.dir/autotune_conv.cpp.o.d"
+  "autotune_conv"
+  "autotune_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_detection_ssd.dir/object_detection_ssd.cpp.o"
+  "CMakeFiles/object_detection_ssd.dir/object_detection_ssd.cpp.o.d"
+  "object_detection_ssd"
+  "object_detection_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_detection_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segmentation_fcn.dir/segmentation_fcn.cpp.o"
+  "CMakeFiles/segmentation_fcn.dir/segmentation_fcn.cpp.o.d"
+  "segmentation_fcn"
+  "segmentation_fcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segmentation_fcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

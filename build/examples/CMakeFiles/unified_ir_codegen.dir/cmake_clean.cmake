@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unified_ir_codegen.dir/unified_ir_codegen.cpp.o"
+  "CMakeFiles/unified_ir_codegen.dir/unified_ir_codegen.cpp.o.d"
+  "unified_ir_codegen"
+  "unified_ir_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unified_ir_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

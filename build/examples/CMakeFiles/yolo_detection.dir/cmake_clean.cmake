@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yolo_detection.dir/yolo_detection.cpp.o"
+  "CMakeFiles/yolo_detection.dir/yolo_detection.cpp.o.d"
+  "yolo_detection"
+  "yolo_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yolo_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/vendor.cpp" "src/CMakeFiles/igc.dir/baselines/vendor.cpp.o" "gcc" "src/CMakeFiles/igc.dir/baselines/vendor.cpp.o.d"
+  "/root/repo/src/codegen/codegen.cpp" "src/CMakeFiles/igc.dir/codegen/codegen.cpp.o" "gcc" "src/CMakeFiles/igc.dir/codegen/codegen.cpp.o.d"
+  "/root/repo/src/core/compiler.cpp" "src/CMakeFiles/igc.dir/core/compiler.cpp.o" "gcc" "src/CMakeFiles/igc.dir/core/compiler.cpp.o.d"
+  "/root/repo/src/core/thread_pool.cpp" "src/CMakeFiles/igc.dir/core/thread_pool.cpp.o" "gcc" "src/CMakeFiles/igc.dir/core/thread_pool.cpp.o.d"
+  "/root/repo/src/graph/executor.cpp" "src/CMakeFiles/igc.dir/graph/executor.cpp.o" "gcc" "src/CMakeFiles/igc.dir/graph/executor.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/igc.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/igc.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/memory_planner.cpp" "src/CMakeFiles/igc.dir/graph/memory_planner.cpp.o" "gcc" "src/CMakeFiles/igc.dir/graph/memory_planner.cpp.o.d"
+  "/root/repo/src/graph/passes.cpp" "src/CMakeFiles/igc.dir/graph/passes.cpp.o" "gcc" "src/CMakeFiles/igc.dir/graph/passes.cpp.o.d"
+  "/root/repo/src/graphtune/graph_tuner.cpp" "src/CMakeFiles/igc.dir/graphtune/graph_tuner.cpp.o" "gcc" "src/CMakeFiles/igc.dir/graphtune/graph_tuner.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/CMakeFiles/igc.dir/ir/expr.cpp.o" "gcc" "src/CMakeFiles/igc.dir/ir/expr.cpp.o.d"
+  "/root/repo/src/ir/interp.cpp" "src/CMakeFiles/igc.dir/ir/interp.cpp.o" "gcc" "src/CMakeFiles/igc.dir/ir/interp.cpp.o.d"
+  "/root/repo/src/ir/simplify.cpp" "src/CMakeFiles/igc.dir/ir/simplify.cpp.o" "gcc" "src/CMakeFiles/igc.dir/ir/simplify.cpp.o.d"
+  "/root/repo/src/models/classification.cpp" "src/CMakeFiles/igc.dir/models/classification.cpp.o" "gcc" "src/CMakeFiles/igc.dir/models/classification.cpp.o.d"
+  "/root/repo/src/models/common.cpp" "src/CMakeFiles/igc.dir/models/common.cpp.o" "gcc" "src/CMakeFiles/igc.dir/models/common.cpp.o.d"
+  "/root/repo/src/models/detection.cpp" "src/CMakeFiles/igc.dir/models/detection.cpp.o" "gcc" "src/CMakeFiles/igc.dir/models/detection.cpp.o.d"
+  "/root/repo/src/models/segmentation.cpp" "src/CMakeFiles/igc.dir/models/segmentation.cpp.o" "gcc" "src/CMakeFiles/igc.dir/models/segmentation.cpp.o.d"
+  "/root/repo/src/ops/nn/conv2d.cpp" "src/CMakeFiles/igc.dir/ops/nn/conv2d.cpp.o" "gcc" "src/CMakeFiles/igc.dir/ops/nn/conv2d.cpp.o.d"
+  "/root/repo/src/ops/nn/conv2d_transpose.cpp" "src/CMakeFiles/igc.dir/ops/nn/conv2d_transpose.cpp.o" "gcc" "src/CMakeFiles/igc.dir/ops/nn/conv2d_transpose.cpp.o.d"
+  "/root/repo/src/ops/nn/depthwise.cpp" "src/CMakeFiles/igc.dir/ops/nn/depthwise.cpp.o" "gcc" "src/CMakeFiles/igc.dir/ops/nn/depthwise.cpp.o.d"
+  "/root/repo/src/ops/nn/ir_kernels.cpp" "src/CMakeFiles/igc.dir/ops/nn/ir_kernels.cpp.o" "gcc" "src/CMakeFiles/igc.dir/ops/nn/ir_kernels.cpp.o.d"
+  "/root/repo/src/ops/nn/nn_ops.cpp" "src/CMakeFiles/igc.dir/ops/nn/nn_ops.cpp.o" "gcc" "src/CMakeFiles/igc.dir/ops/nn/nn_ops.cpp.o.d"
+  "/root/repo/src/ops/nn/winograd.cpp" "src/CMakeFiles/igc.dir/ops/nn/winograd.cpp.o" "gcc" "src/CMakeFiles/igc.dir/ops/nn/winograd.cpp.o.d"
+  "/root/repo/src/ops/vision/nms.cpp" "src/CMakeFiles/igc.dir/ops/vision/nms.cpp.o" "gcc" "src/CMakeFiles/igc.dir/ops/vision/nms.cpp.o.d"
+  "/root/repo/src/ops/vision/prefix_sum.cpp" "src/CMakeFiles/igc.dir/ops/vision/prefix_sum.cpp.o" "gcc" "src/CMakeFiles/igc.dir/ops/vision/prefix_sum.cpp.o.d"
+  "/root/repo/src/ops/vision/roi_align.cpp" "src/CMakeFiles/igc.dir/ops/vision/roi_align.cpp.o" "gcc" "src/CMakeFiles/igc.dir/ops/vision/roi_align.cpp.o.d"
+  "/root/repo/src/ops/vision/segmented_sort.cpp" "src/CMakeFiles/igc.dir/ops/vision/segmented_sort.cpp.o" "gcc" "src/CMakeFiles/igc.dir/ops/vision/segmented_sort.cpp.o.d"
+  "/root/repo/src/ops/vision/yolo.cpp" "src/CMakeFiles/igc.dir/ops/vision/yolo.cpp.o" "gcc" "src/CMakeFiles/igc.dir/ops/vision/yolo.cpp.o.d"
+  "/root/repo/src/sim/device_spec.cpp" "src/CMakeFiles/igc.dir/sim/device_spec.cpp.o" "gcc" "src/CMakeFiles/igc.dir/sim/device_spec.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/igc.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/igc.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/timing_model.cpp" "src/CMakeFiles/igc.dir/sim/timing_model.cpp.o" "gcc" "src/CMakeFiles/igc.dir/sim/timing_model.cpp.o.d"
+  "/root/repo/src/tensor/layout.cpp" "src/CMakeFiles/igc.dir/tensor/layout.cpp.o" "gcc" "src/CMakeFiles/igc.dir/tensor/layout.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/igc.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/igc.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/tune/config.cpp" "src/CMakeFiles/igc.dir/tune/config.cpp.o" "gcc" "src/CMakeFiles/igc.dir/tune/config.cpp.o.d"
+  "/root/repo/src/tune/conv_tuner.cpp" "src/CMakeFiles/igc.dir/tune/conv_tuner.cpp.o" "gcc" "src/CMakeFiles/igc.dir/tune/conv_tuner.cpp.o.d"
+  "/root/repo/src/tune/cost_model.cpp" "src/CMakeFiles/igc.dir/tune/cost_model.cpp.o" "gcc" "src/CMakeFiles/igc.dir/tune/cost_model.cpp.o.d"
+  "/root/repo/src/tune/tunedb.cpp" "src/CMakeFiles/igc.dir/tune/tunedb.cpp.o" "gcc" "src/CMakeFiles/igc.dir/tune/tunedb.cpp.o.d"
+  "/root/repo/src/tune/tuner.cpp" "src/CMakeFiles/igc.dir/tune/tuner.cpp.o" "gcc" "src/CMakeFiles/igc.dir/tune/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graphtune.dir/test_graphtune.cpp.o"
+  "CMakeFiles/test_graphtune.dir/test_graphtune.cpp.o.d"
+  "test_graphtune"
+  "test_graphtune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graphtune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir_kernels.dir/test_ir_kernels.cpp.o"
+  "CMakeFiles/test_ir_kernels.dir/test_ir_kernels.cpp.o.d"
+  "test_ir_kernels"
+  "test_ir_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

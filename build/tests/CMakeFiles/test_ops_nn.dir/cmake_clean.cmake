@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ops_nn.dir/test_ops_nn.cpp.o"
+  "CMakeFiles/test_ops_nn.dir/test_ops_nn.cpp.o.d"
+  "test_ops_nn"
+  "test_ops_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ops_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

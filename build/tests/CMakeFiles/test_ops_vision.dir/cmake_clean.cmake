@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ops_vision.dir/test_ops_vision.cpp.o"
+  "CMakeFiles/test_ops_vision.dir/test_ops_vision.cpp.o.d"
+  "test_ops_vision"
+  "test_ops_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ops_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

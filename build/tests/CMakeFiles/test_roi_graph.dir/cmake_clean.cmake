@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roi_graph.dir/test_roi_graph.cpp.o"
+  "CMakeFiles/test_roi_graph.dir/test_roi_graph.cpp.o.d"
+  "test_roi_graph"
+  "test_roi_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roi_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

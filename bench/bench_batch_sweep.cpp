@@ -5,6 +5,7 @@
 // compute units.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/compiler.h"
 #include "models/models.h"
 #include "sim/device_spec.h"
@@ -15,9 +16,10 @@ int main() {
   std::printf("%-14s | %10s %10s %10s %10s | per-sample @8 vs @1\n", "device",
               "b=1", "b=2", "b=4", "b=8");
   for (const sim::Platform& plat : sim::all_platforms()) {
+    const int64_t batches[] = {1, 2, 4, 8};
     double ms[4];
     int i = 0;
-    for (int64_t batch : {1, 2, 4, 8}) {
+    for (int64_t batch : batches) {
       Rng rng(0x5eed);
       CompileOptions opts;
       opts.tune_trials = 64;
@@ -28,6 +30,16 @@ int main() {
     std::printf("%-14s | %9.2f %9.2f %9.2f %9.2f | %.2fx\n",
                 plat.name.c_str(), ms[0], ms[1], ms[2], ms[3],
                 (ms[3] / 8.0) / ms[0]);
+    for (int b = 0; b < 4; ++b) {
+      bench::JsonObject j;
+      j.field("bench", "batch_sweep")
+          .field("platform", plat.name)
+          .field("model", "ResNet50_v1")
+          .field("batch", batches[b])
+          .field("sim_latency_ms", ms[b])
+          .field("sim_ms_per_sample", ms[b] / static_cast<double>(batches[b]));
+      j.emit();
+    }
   }
   return 0;
 }

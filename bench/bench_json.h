@@ -1,0 +1,90 @@
+// Tiny machine-readable output helper for the benches: one flat JSON object
+// per result row, printed alongside the human tables so dashboards can scrape
+// bench output (or the file a bench writes) without parsing printf columns.
+//
+// Deliberately minimal — flat objects, string/number/bool fields only.
+#pragma once
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace igc::bench {
+
+class JsonObject {
+ public:
+  JsonObject& field(const std::string& key, const std::string& value) {
+    add_key(key);
+    out_ += '"';
+    escape_into(value);
+    out_ += '"';
+    return *this;
+  }
+  JsonObject& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonObject& field(const std::string& key, double value) {
+    add_key(key);
+    if (!std::isfinite(value)) {
+      out_ += "null";
+    } else {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      out_ += buf;
+    }
+    return *this;
+  }
+  JsonObject& field(const std::string& key, int64_t value) {
+    add_key(key);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+    out_ += buf;
+    return *this;
+  }
+  JsonObject& field(const std::string& key, int value) {
+    return field(key, static_cast<int64_t>(value));
+  }
+  JsonObject& field(const std::string& key, bool value) {
+    add_key(key);
+    out_ += value ? "true" : "false";
+    return *this;
+  }
+
+  std::string str() const { return out_ + "}"; }
+
+  /// Prints the object as one line to `f` (stdout by default).
+  void emit(std::FILE* f = stdout) const {
+    std::fprintf(f, "%s\n", str().c_str());
+  }
+
+ private:
+  void add_key(const std::string& key) {
+    out_ += first_ ? "" : ", ";
+    first_ = false;
+    out_ += '"';
+    escape_into(key);
+    out_ += "\": ";
+  }
+
+  void escape_into(const std::string& s) {
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out_ += '\\';
+        out_ += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out_ += buf;
+      } else {
+        out_ += c;
+      }
+    }
+  }
+
+  std::string out_ = "{";
+  bool first_ = true;
+};
+
+}  // namespace igc::bench

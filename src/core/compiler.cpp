@@ -27,22 +27,50 @@ CompiledModel compile(models::Model model, const sim::Platform& platform,
   return cm;
 }
 
-RunResult CompiledModel::run(uint64_t input_seed, bool compute_numerics) const {
+RunResult CompiledModel::run(const RunOptions& opts) const {
   graph::ExecOptions eopts;
-  eopts.compute_numerics = compute_numerics;
+  eopts.compute_numerics = opts.compute_numerics;
   eopts.use_tuned_configs = tuned_;
   eopts.db = &db_;
   eopts.conv_layout_block = layouts_;
-  Rng rng(input_seed);
+  eopts.mode = opts.mode;
+  eopts.use_arena = opts.use_arena;
+
+  std::unique_lock<std::mutex> serving_lock;
+  if (opts.use_arena) {
+    // Arena runs share one set of buffers, so they serialize on the model.
+    serving_lock = std::unique_lock<std::mutex>(serving_->mu);
+    if (serving_->arena == nullptr) {
+      serving_->plan =
+          std::make_unique<graph::MemoryPlan>(graph::plan_memory(graph_));
+      serving_->arena =
+          std::make_unique<BufferArena>(serving_->plan->buffer_bytes);
+    }
+    eopts.plan = serving_->plan.get();
+    eopts.arena = serving_->arena.get();
+  }
+
+  Rng rng(opts.input_seed);
   const graph::ExecResult r = graph::execute(graph_, *platform_, eopts, rng);
   RunResult out;
   out.output = r.output;
   out.latency_ms = r.latency_ms;
+  out.serial_ms = r.serial_ms;
+  out.critical_path_ms = r.critical_path_ms;
   out.conv_ms = r.conv_ms;
   out.vision_ms = r.vision_ms;
   out.copy_ms = r.copy_ms;
   out.other_ms = r.other_ms;
+  out.peak_intermediate_bytes = r.peak_intermediate_bytes;
+  out.arena_bytes = r.arena_bytes;
   return out;
+}
+
+RunResult CompiledModel::run(uint64_t input_seed, bool compute_numerics) const {
+  RunOptions opts;
+  opts.input_seed = input_seed;
+  opts.compute_numerics = compute_numerics;
+  return run(opts);
 }
 
 graph::MemoryPlan CompiledModel::memory_plan() const {

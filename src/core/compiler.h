@@ -14,6 +14,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -41,17 +42,43 @@ struct CompileOptions {
   bool skip_tuning = false;
 };
 
+/// Knobs for one inference call. Outputs are bit-identical across every
+/// combination of mode/use_arena for a fixed input_seed.
+struct RunOptions {
+  uint64_t input_seed = 0xbe5c;
+  /// Off propagates shapes and synthetic detection data only (fast for
+  /// full-size models).
+  bool compute_numerics = true;
+  /// kWavefront dispatches independent nodes concurrently and reports the
+  /// per-lane critical-path latency instead of the serial sum.
+  graph::ExecMode mode = graph::ExecMode::kSequential;
+  /// Serve intermediate tensors from a persistent plan-backed arena owned by
+  /// the model: after the first run, repeated runs perform no intermediate
+  /// heap allocations (steady-state serving). Arena runs on one model are
+  /// serialized internally.
+  bool use_arena = false;
+};
+
 struct RunResult {
   Tensor output;
   double latency_ms = 0.0;
+  /// Both simulated time models, regardless of the mode run (see ExecResult).
+  double serial_ms = 0.0;
+  double critical_path_ms = 0.0;
   double conv_ms = 0.0;
   double vision_ms = 0.0;
   double copy_ms = 0.0;
   double other_ms = 0.0;
+  /// High-water mark of live intermediate bytes during the run.
+  int64_t peak_intermediate_bytes = 0;
+  /// Capacity of the serving arena (0 when use_arena is off).
+  int64_t arena_bytes = 0;
 };
 
 class CompiledModel {
  public:
+  RunResult run(const RunOptions& opts) const;
+
   /// Runs one inference. `compute_numerics` off propagates shapes and
   /// synthetic detection data only (fast for full-size models).
   RunResult run(uint64_t input_seed = 0xbe5c,
@@ -76,6 +103,17 @@ class CompiledModel {
   friend CompiledModel compile(models::Model model,
                                const sim::Platform& platform,
                                const CompileOptions& opts);
+
+  /// Lazily built serving state shared by arena runs: the memory plan and
+  /// the arena sized from it, plus the mutex that serializes such runs
+  /// (buffers would alias otherwise). Held behind a pointer so the model
+  /// stays movable.
+  struct ServingState {
+    std::mutex mu;
+    std::unique_ptr<graph::MemoryPlan> plan;
+    std::unique_ptr<BufferArena> arena;
+  };
+
   std::string name_;
   graph::Graph graph_;
   const sim::Platform* platform_ = nullptr;
@@ -83,6 +121,7 @@ class CompiledModel {
   tune::TuneDb db_;
   std::map<int, int> layouts_;
   bool tuned_ = true;
+  std::shared_ptr<ServingState> serving_ = std::make_shared<ServingState>();
 };
 
 /// Compiles `model` for `platform`: optimizes the graph, tunes every conv

@@ -1,12 +1,15 @@
 #include "core/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
 
 #include "core/error.h"
 
 namespace igc {
+
+namespace {
+/// Which pool (if any) the current thread belongs to as a worker.
+thread_local const ThreadPool* t_worker_of = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) {
@@ -27,7 +30,10 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::on_worker_thread() const { return t_worker_of == this; }
+
 void ThreadPool::worker_loop() {
+  t_worker_of = this;
   for (;;) {
     Task task;
     {
@@ -49,25 +55,27 @@ void ThreadPool::submit(std::function<void()> fn) {
   cv_.notify_one();
 }
 
-namespace {
-thread_local bool t_inside_pool = false;
-}  // namespace
-
 void ThreadPool::parallel_for(int64_t n, const std::function<void(int64_t)>& fn) {
   if (n <= 0) return;
   const int nw = num_threads();
-  // Nested parallel_for from a worker thread would deadlock waiting for the
-  // workers it is itself occupying; degrade to serial execution instead.
-  if (n == 1 || nw == 1 || t_inside_pool) {
+  // A nested parallel_for from one of this pool's own workers would deadlock
+  // waiting for the workers it is itself occupying; degrade to serial
+  // execution instead. (Workers of *other* pools may block here safely.)
+  if (n == 1 || nw == 1 || on_worker_thread()) {
     for (int64_t i = 0; i < n; ++i) fn(i);
     return;
   }
   const int64_t chunks = std::min<int64_t>(n, nw * 4);
   const int64_t chunk_size = (n + chunks - 1) / chunks;
 
-  std::atomic<int64_t> remaining(chunks);
+  // Chunk tasks capture these locals by reference, so the function must not
+  // return until every chunk has fully finished executing — not merely been
+  // counted down. The decrement therefore happens under `done_mu` as the very
+  // last action of each chunk, and the waiter's predicate runs under the same
+  // mutex: once it observes remaining == 0, no chunk can still touch the
+  // captured state.
+  int64_t remaining = chunks;
   std::exception_ptr first_error;
-  std::mutex err_mu;
   std::mutex done_mu;
   std::condition_variable done_cv;
 
@@ -75,27 +83,72 @@ void ThreadPool::parallel_for(int64_t n, const std::function<void(int64_t)>& fn)
     const int64_t lo = c * chunk_size;
     const int64_t hi = std::min(n, lo + chunk_size);
     submit([&, lo, hi] {
-      t_inside_pool = true;
+      std::exception_ptr err;
       try {
         for (int64_t i = lo; i < hi; ++i) fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(err_mu);
-        if (!first_error) first_error = std::current_exception();
+        err = std::current_exception();
       }
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        done_cv.notify_all();
-      }
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (err && !first_error) first_error = err;
+      if (--remaining == 0) done_cv.notify_all();
     });
   }
   std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  done_cv.wait(lock, [&] { return remaining == 0; });
   if (first_error) std::rethrow_exception(first_error);
 }
 
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;
+}
+
+ThreadPool& ThreadPool::scheduler() {
+  static ThreadPool pool;
+  return pool;
+}
+
+TaskGroup::~TaskGroup() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_.submit([this, fn = std::move(fn)] {
+    std::exception_ptr err;
+    try {
+      fn();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (err) {
+      failed_ = true;
+      if (!error_) error_ = err;
+    }
+    if (--pending_ == 0) cv_.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+  if (error_) {
+    std::exception_ptr err = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+bool TaskGroup::failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
 }
 
 }  // namespace igc

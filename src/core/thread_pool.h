@@ -1,13 +1,19 @@
-// A small fixed-size thread pool with a blocking parallel_for.
+// A small fixed-size thread pool with a blocking parallel_for and fire-and-
+// collect task groups.
 //
-// The GPU simulator uses this to execute work-groups concurrently on the
-// host. The pool is shared process-wide (see ThreadPool::global()) so nested
-// operators do not oversubscribe the machine.
+// Two process-wide pools exist:
+//   * ThreadPool::global()    — fine-grained data parallelism (the GPU
+//     simulator's work-groups, reference kernels);
+//   * ThreadPool::scheduler() — coarse graph-node tasks from the wavefront
+//     executor. Keeping them separate lets a node task fan data-parallel
+//     work out onto global() without the two levels deadlocking on each
+//     other's workers.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -27,13 +33,26 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  /// True when the calling thread is one of *this* pool's workers. Blocking
+  /// on this pool from its own worker would deadlock; callers use this to
+  /// degrade to inline execution instead.
+  bool on_worker_thread() const;
+
+  /// Enqueues one task; returns immediately. Safe to call from any thread,
+  /// including this pool's own workers (the task just queues behind others).
+  void submit(std::function<void()> fn);
+
   /// Runs fn(i) for i in [0, n), distributing contiguous chunks over the
   /// workers, and blocks until all iterations complete. Exceptions thrown by
-  /// fn propagate to the caller (first one wins).
+  /// fn propagate to the caller (first one wins). Every chunk task has fully
+  /// finished — not merely been counted — before this returns, so fn may
+  /// capture stack locals by reference.
   void parallel_for(int64_t n, const std::function<void(int64_t)>& fn);
 
-  /// Process-wide shared pool.
+  /// Process-wide shared pool for data-parallel kernels.
   static ThreadPool& global();
+  /// Process-wide shared pool for coarse graph-node tasks.
+  static ThreadPool& scheduler();
 
  private:
   struct Task {
@@ -41,13 +60,42 @@ class ThreadPool {
   };
 
   void worker_loop();
-  void submit(std::function<void()> fn);
 
   std::vector<std::thread> workers_;
   std::deque<Task> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool shutting_down_ = false;
+};
+
+/// Tracks a dynamic set of tasks submitted to a pool and joins them.
+///
+/// run() may be called concurrently, including from inside a running task
+/// (tasks spawning successor tasks is the wavefront executor's dispatch
+/// pattern). wait() blocks until every submitted task has finished and
+/// rethrows the first exception any task threw. The destructor waits (without
+/// rethrowing) so tasks never outlive captured state.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void run(std::function<void()> fn);
+  void wait();
+  /// True once any task has thrown (sticky). Lets spawners stop scheduling
+  /// follow-up work early.
+  bool failed() const;
+
+ private:
+  ThreadPool& pool_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int64_t pending_ = 0;
+  std::exception_ptr error_;  // consumed by the wait() that rethrows it
+  bool failed_ = false;       // sticky even after the error is consumed
 };
 
 }  // namespace igc

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <functional>
+#include <optional>
 
 #include "core/error.h"
+#include "core/thread_pool.h"
 #include "ops/nn/conv2d.h"
 #include "ops/nn/nn_ops.h"
 #include "ops/vision/nms.h"
@@ -16,11 +20,33 @@
 namespace igc::graph {
 namespace {
 
-/// Tracks one node's runtime value: the tensor (always shape-correct) and
-/// whether its contents are real numerics or placeholder zeros.
+/// Tracks one node's runtime value: the tensor (always shape-correct),
+/// whether its contents are real numerics or placeholder data, and which
+/// allocation backs it (a planned arena buffer, accounted heap bytes, or an
+/// alias of its input).
 struct Value {
   Tensor tensor;
   bool materialized = false;
+  int arena_buffer = -1;   // arena buffer id backing this value, -1 if none
+  int64_t heap_bytes = 0;  // accounted heap bytes (0 for aliases and arena)
+};
+
+/// Everything one node's execution touches that must not be shared between
+/// concurrently running nodes: its simulated clock/GPU and its private Rng.
+/// The Rng is seeded from (run seed, node name) so synthetic data is
+/// identical no matter which dispatch mode or host interleaving ran the node.
+struct NodeCtx {
+  sim::SimClock clock;
+  sim::GpuSimulator gpu;
+  Rng rng;
+  NodeCtx(const sim::DeviceSpec& dev, uint64_t seed)
+      : gpu(dev, clock), rng(seed) {}
+};
+
+/// The simulated cost and trace of one node, merged after dispatch.
+struct NodeRun {
+  double ms = 0.0;
+  std::vector<sim::ClockEvent> events;
 };
 
 /// Synthetic detection-head tensors for shapes-only execution. Scores follow
@@ -83,54 +109,273 @@ Tensor synthesize_nms_input(const Shape& shape, Rng& rng) {
   return t;
 }
 
+/// FNV-1a over the node's stable name (node ids are renumbered by passes;
+/// names survive them, so differently-placed or differently-optimized builds
+/// of one model synthesize identical per-node data).
+uint64_t hash_name(const std::string& name) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 class ExecutorImpl {
  public:
   ExecutorImpl(const Graph& g, const sim::Platform& platform,
-               const ExecOptions& opts, Rng& rng)
-      : g_(g), platform_(platform), opts_(opts), rng_(rng),
-        gpu_(platform.gpu, clock_) {}
+               const ExecOptions& opts, Rng& input_rng)
+      : g_(g), platform_(platform), opts_(opts), input_rng_(input_rng) {}
 
   ExecResult run() {
     g_.validate();
-    values_.resize(static_cast<size_t>(g_.num_nodes()));
-    layout_block_.assign(static_cast<size_t>(g_.num_nodes()), 1);
+    const size_t n_nodes = static_cast<size_t>(g_.num_nodes());
+    values_.resize(n_nodes);
+    layout_block_.assign(n_nodes, 1);
+    node_runs_.resize(n_nodes);
     compute_liveness();
+    base_seed_ = input_rng_.next_u64();
+
+    if (opts_.use_arena) setup_arena();
 
     // Reference counts for eager buffer release (the runtime analogue of the
     // memory planner): a node's tensor is dropped after its last consumer.
-    std::vector<int> pending(static_cast<size_t>(g_.num_nodes()), 0);
+    pending_.assign(n_nodes, 0);
     for (const Node& n : g_.nodes()) {
-      if (!live_[static_cast<size_t>(n.id)]) continue;
-      for (int in : n.inputs) ++pending[static_cast<size_t>(in)];
+      if (!live(n.id)) continue;
+      for (int in : n.inputs) ++pending_[static_cast<size_t>(in)];
     }
 
-    ExecResult result;
-    for (const Node& n : g_.nodes()) {
-      if (!live_[static_cast<size_t>(n.id)]) continue;
-      const double before = clock_.total_ms();
-      exec_node(n);
-      const double delta = clock_.total_ms() - before;
-      attribute(n.kind, delta, result);
-      for (int in : n.inputs) {
-        if (--pending[static_cast<size_t>(in)] == 0 && in != g_.output()) {
-          val(in).tensor = Tensor();  // release buffer early
-        }
+    try {
+      // A nested execute() from a scheduler worker (a model run inside a
+      // node task) must not block on its own pool: degrade to sequential
+      // dispatch. Simulated timing is unaffected — it is derived from the
+      // per-node charges, not from how the host interleaved them.
+      if (opts_.mode == ExecMode::kWavefront &&
+          !ThreadPool::scheduler().on_worker_thread()) {
+        run_wavefront();
+      } else {
+        run_sequential();
       }
+    } catch (...) {
+      release_all_arena();
+      throw;
     }
-    result.output = values_[static_cast<size_t>(g_.output())].tensor;
-    result.latency_ms = clock_.total_ms();
-    result.events = clock_.events();
-    return result;
+    return finalize();
   }
 
  private:
+  bool live(int id) const { return live_[static_cast<size_t>(id)]; }
+
   void compute_liveness() {
     live_.assign(static_cast<size_t>(g_.num_nodes()), false);
     live_[static_cast<size_t>(g_.output())] = true;
     for (int id = g_.num_nodes() - 1; id >= 0; --id) {
-      if (!live_[static_cast<size_t>(id)]) continue;
+      if (!live(id)) continue;
       for (int in : g_.node(id).inputs) live_[static_cast<size_t>(in)] = true;
     }
+  }
+
+  void setup_arena() {
+    if (opts_.arena != nullptr) {
+      IGC_CHECK(opts_.plan != nullptr)
+          << "a caller-provided arena needs the plan it was sized from";
+      plan_ = opts_.plan;
+      arena_ = opts_.arena;
+    } else {
+      local_plan_ = plan_memory(g_);
+      plan_ = &*local_plan_;
+      local_arena_.emplace(local_plan_->buffer_bytes);
+      arena_ = &*local_arena_;
+    }
+    IGC_CHECK_EQ(static_cast<int>(plan_->buffer_of_node.size()), g_.num_nodes())
+        << "memory plan does not match this graph";
+    IGC_CHECK_EQ(arena_->num_buffers(),
+                 static_cast<int>(plan_->buffer_bytes.size()));
+    IGC_CHECK_EQ(arena_->in_use_bytes(), 0)
+        << "arena still holds buffers from a previous run";
+    arena_->reset_peak();
+  }
+
+  // ----- dispatch ---------------------------------------------------------
+
+  void run_sequential() {
+    for (const Node& n : g_.nodes()) {
+      if (!live(n.id)) continue;
+      node_runs_[static_cast<size_t>(n.id)] = exec_one(n);
+      on_node_done(n);
+    }
+  }
+
+  void run_wavefront() {
+    const size_t n_nodes = static_cast<size_t>(g_.num_nodes());
+    // Dependency edges: data inputs, plus anti-dependency edges when buffers
+    // are recycled — the next holder of a planned buffer must not start
+    // before the previous holder and all of its readers have finished.
+    std::vector<std::set<int>> deps(n_nodes);
+    for (const Node& n : g_.nodes()) {
+      if (!live(n.id)) continue;
+      for (int in : n.inputs) deps[static_cast<size_t>(n.id)].insert(in);
+    }
+    if (arena_ != nullptr) add_anti_deps(deps);
+
+    std::vector<int> indeg(n_nodes, 0);
+    std::vector<std::vector<int>> succ(n_nodes);
+    std::vector<int> roots;
+    for (const Node& n : g_.nodes()) {
+      if (!live(n.id)) continue;
+      indeg[static_cast<size_t>(n.id)] =
+          static_cast<int>(deps[static_cast<size_t>(n.id)].size());
+      if (deps[static_cast<size_t>(n.id)].empty()) roots.push_back(n.id);
+      for (int d : deps[static_cast<size_t>(n.id)]) {
+        succ[static_cast<size_t>(d)].push_back(n.id);
+      }
+    }
+
+    TaskGroup group(ThreadPool::scheduler());
+    // Spawns are only issued while holding sched_mu_ (or before any task
+    // runs), and group.wait() joins every task before the locals above go out
+    // of scope, so the reference captures below are safe.
+    std::function<void(int)> spawn = [&](int id) {
+      group.run([this, &group, &succ, &indeg, &spawn, id] {
+        const Node& n = g_.node(id);
+        NodeRun r = exec_one(n);
+        std::lock_guard<std::mutex> lock(sched_mu_);
+        node_runs_[static_cast<size_t>(id)] = std::move(r);
+        on_node_done(n);
+        if (group.failed()) return;  // stop fanning out after an error
+        for (int s : succ[static_cast<size_t>(id)]) {
+          if (--indeg[static_cast<size_t>(s)] == 0) spawn(s);
+        }
+      });
+    };
+    // Roots were snapshotted before anything ran: re-reading indeg here
+    // would race with finishing tasks and could spawn a node twice.
+    for (int id : roots) spawn(id);
+    group.wait();
+  }
+
+  /// Anti-dependency edges derived from the memory plan. The planner assigns
+  /// buffers walking nodes in id order and recycles a buffer only after the
+  /// previous holder's last consumer, so every edge points to a higher id
+  /// and the graph stays acyclic.
+  void add_anti_deps(std::vector<std::set<int>>& deps) const {
+    std::vector<std::vector<int>> consumers(
+        static_cast<size_t>(g_.num_nodes()));
+    std::map<int, std::vector<int>> holders;  // buffer id -> node ids, ordered
+    for (const Node& n : g_.nodes()) {
+      if (!live(n.id)) continue;
+      for (int in : n.inputs) consumers[static_cast<size_t>(in)].push_back(n.id);
+      const int buf = plan_->buffer_of_node[static_cast<size_t>(n.id)];
+      IGC_CHECK_GE(buf, 0) << "live node " << n.name << " has no planned buffer";
+      holders[buf].push_back(n.id);
+    }
+    for (const auto& [buf, hs] : holders) {
+      for (size_t i = 0; i + 1 < hs.size(); ++i) {
+        const int prev = hs[i];
+        const int next = hs[i + 1];
+        deps[static_cast<size_t>(next)].insert(prev);
+        for (int c : consumers[static_cast<size_t>(prev)]) {
+          IGC_CHECK_LT(c, next) << "memory plan reuses buffer " << buf
+                                << " before its last consumer";
+          deps[static_cast<size_t>(next)].insert(c);
+        }
+      }
+    }
+  }
+
+  NodeRun exec_one(const Node& n) {
+    NodeCtx cx(platform_.gpu, base_seed_ ^ hash_name(n.name));
+    exec_node(cx, n);
+    NodeRun r;
+    r.ms = cx.clock.total_ms();
+    r.events = cx.clock.events();
+    return r;
+  }
+
+  /// Post-execution bookkeeping for one node: peak-memory accounting and
+  /// eager release of inputs whose last consumer just ran. Called inline in
+  /// sequential dispatch and under sched_mu_ in wavefront dispatch; releases
+  /// happen before successors are spawned, which is what makes the
+  /// anti-dependency edges sufficient for safe concurrent buffer reuse.
+  void on_node_done(const Node& n) {
+    heap_in_use_ += val(n.id).heap_bytes;
+    const int64_t arena_now = arena_ != nullptr ? arena_->in_use_bytes() : 0;
+    peak_bytes_ = std::max(peak_bytes_, heap_in_use_ + arena_now);
+    for (int in : n.inputs) {
+      if (--pending_[static_cast<size_t>(in)] == 0 && in != g_.output()) {
+        release_value(in);
+      }
+    }
+  }
+
+  void release_value(int id) {
+    Value& v = val(id);
+    v.tensor = Tensor();
+    heap_in_use_ -= v.heap_bytes;
+    v.heap_bytes = 0;
+    if (v.arena_buffer >= 0) {
+      arena_->release(v.arena_buffer);
+      v.arena_buffer = -1;
+    }
+  }
+
+  void release_all_arena() {
+    if (arena_ == nullptr) return;
+    for (Value& v : values_) {
+      if (v.arena_buffer < 0) continue;
+      v.tensor = Tensor();
+      arena_->release(v.arena_buffer);
+      v.arena_buffer = -1;
+    }
+  }
+
+  ExecResult finalize() {
+    ExecResult result;
+    // Simulated time, merged deterministically from the per-node charges in
+    // topological id order: the serial sum models the sequential executor's
+    // single in-order queue; the lane schedule models the wavefront executor
+    // (per-device engines running independent nodes concurrently).
+    double serial = 0.0;
+    sim::LaneSchedule lanes;
+    std::vector<double> finish(static_cast<size_t>(g_.num_nodes()), 0.0);
+    for (const Node& n : g_.nodes()) {
+      if (!live(n.id)) continue;
+      const NodeRun& r = node_runs_[static_cast<size_t>(n.id)];
+      serial += r.ms;
+      attribute(n.kind, r.ms, result);
+      double ready = 0.0;
+      for (int in : n.inputs) {
+        ready = std::max(ready, finish[static_cast<size_t>(in)]);
+      }
+      finish[static_cast<size_t>(n.id)] =
+          lanes.schedule(lane_of(n), ready, r.ms);
+      result.events.insert(result.events.end(), r.events.begin(),
+                           r.events.end());
+    }
+    result.serial_ms = serial;
+    result.critical_path_ms = finish[static_cast<size_t>(g_.output())];
+    result.latency_ms = opts_.mode == ExecMode::kWavefront
+                            ? result.critical_path_ms
+                            : result.serial_ms;
+
+    Value& out = val(g_.output());
+    // An arena-backed output must escape the run by copy: its slab is
+    // recycled by the next run over the same arena.
+    result.output = out.arena_buffer >= 0 ? out.tensor.clone() : out.tensor;
+    release_all_arena();
+    result.peak_intermediate_bytes = peak_bytes_;
+    if (arena_ != nullptr) {
+      result.peak_intermediate_bytes =
+          std::max(peak_bytes_, arena_->peak_in_use_bytes());
+      result.arena_bytes = arena_->capacity_bytes();
+    }
+    return result;
+  }
+
+  static sim::Lane lane_of(const Node& n) {
+    if (n.kind == OpKind::kDeviceCopy) return sim::Lane::kCopy;
+    return n.place == Place::kCpu ? sim::Lane::kCpu : sim::Lane::kGpu;
   }
 
   static void attribute(OpKind kind, double ms, ExecResult& r) {
@@ -155,6 +400,8 @@ class ExecutorImpl {
     }
   }
 
+  // ----- value storage ----------------------------------------------------
+
   Value& val(int id) { return values_[static_cast<size_t>(id)]; }
 
   const Tensor& in_tensor(const Node& n, size_t i = 0) {
@@ -167,24 +414,92 @@ class ExecutorImpl {
     return !n.inputs.empty();
   }
 
+  /// Views node `n`'s planned arena buffer as its output tensor.
+  Tensor arena_acquire(const Node& n, const Shape& shape, DType dtype,
+                       bool zero_fill) {
+    const int buf = plan_->buffer_of_node[static_cast<size_t>(n.id)];
+    IGC_CHECK_GE(buf, 0) << "live node " << n.name << " has no planned buffer";
+    val(n.id).arena_buffer = buf;
+    return arena_->acquire(buf, shape, dtype, zero_fill);
+  }
+
+  /// Stores a shape-only placeholder output. Placeholder contents are never
+  /// read by any operator, so arena slabs stay uninitialized — except for
+  /// the graph output, which escapes to the caller and must match the
+  /// non-arena executor's zeros bit for bit.
+  void set_placeholder(const Node& n) {
+    Value& v = val(n.id);
+    if (arena_ != nullptr) {
+      v.tensor = arena_acquire(n, n.out_shape, DType::kFloat32,
+                               /*zero_fill=*/n.id == g_.output());
+    } else {
+      v.tensor = Tensor::zeros(n.out_shape);
+      v.heap_bytes = v.tensor.nbytes();
+    }
+    v.materialized = false;
+  }
+
+  /// Stores a computed output, copying it into the node's planned arena
+  /// buffer when one is in use so the result's lifetime is plan-managed.
+  void set_computed(const Node& n, Tensor t) {
+    Value& v = val(n.id);
+    if (arena_ != nullptr) {
+      Tensor dst = arena_acquire(n, t.shape(), t.dtype(), /*zero_fill=*/false);
+      std::memcpy(dst.raw_data(), t.raw_data(),
+                  static_cast<size_t>(t.nbytes()));
+      v.tensor = std::move(dst);
+    } else {
+      v.heap_bytes = t.nbytes();
+      v.tensor = std::move(t);
+    }
+    v.materialized = true;
+  }
+
+  /// Flatten and DeviceCopy alias their input when values live on the heap;
+  /// with an arena the input's slab may be recycled right after its last
+  /// consumer, so these ops copy into their own planned buffer instead.
+  void set_aliased(const Node& n) {
+    Value& v = val(n.id);
+    const Value& src = val(n.inputs[0]);
+    if (arena_ != nullptr) {
+      // Unmaterialized placeholders carry no data worth copying; zero-fill
+      // only when the value escapes as the graph output (matching the
+      // sequential executor, whose alias of a zeroed placeholder is zeros).
+      const bool zero = !src.materialized && n.id == g_.output();
+      Tensor dst =
+          arena_acquire(n, n.out_shape, src.tensor.dtype(), zero);
+      if (src.materialized) {
+        std::memcpy(dst.raw_data(), src.tensor.raw_data(),
+                    static_cast<size_t>(src.tensor.nbytes()));
+      }
+      v.tensor = std::move(dst);
+    } else {
+      v.tensor = src.tensor.reshape(n.out_shape);
+    }
+    v.materialized = src.materialized;
+  }
+
+  // ----- per-op execution -------------------------------------------------
+
   /// Charges one elementwise GPU kernel (or the CPU equivalent).
-  void charge_elementwise(const Node& n, int64_t numel, int inputs_per_elem,
-                          int64_t flops_per_elem) {
+  void charge_elementwise(NodeCtx& cx, const Node& n, int64_t numel,
+                          int inputs_per_elem, int64_t flops_per_elem) {
     if (n.place == Place::kCpu) {
-      clock_.charge_fixed(
+      cx.clock.charge_fixed(
           sim::cpu_latency_ms(platform_.cpu, numel * flops_per_elem,
                               4 * numel * (inputs_per_elem + 1), 0.9),
           n.name);
     } else {
-      clock_.charge(platform_.gpu,
-                    ops::elementwise_kernel_cost(n.name, numel, inputs_per_elem,
-                                                 flops_per_elem));
+      cx.clock.charge(platform_.gpu,
+                      ops::elementwise_kernel_cost(n.name, numel,
+                                                   inputs_per_elem,
+                                                   flops_per_elem));
     }
   }
 
   /// Charges a layout transform on an edge whose producer layout block
   /// differs from what this node requires.
-  void charge_layout_edges(const Node& n, int required_block) {
+  void charge_layout_edges(NodeCtx& cx, const Node& n, int required_block) {
     for (int in : n.inputs) {
       const int have = layout_block_[static_cast<size_t>(in)];
       if (have == required_block) continue;
@@ -197,7 +512,7 @@ class ExecutorImpl {
       k.work_items = numel;
       k.work_group_size = 64;
       k.compute_efficiency = 0.6;
-      clock_.charge(platform_.gpu, k);
+      cx.clock.charge(platform_.gpu, k);
     }
   }
 
@@ -212,35 +527,46 @@ class ExecutorImpl {
       case OpKind::kPool2d:
       case OpKind::kUpsample2x:
       case OpKind::kDeviceCopy:
-        return n.inputs.empty() ? 1 : layout_block_[static_cast<size_t>(n.inputs[0])];
+        return n.inputs.empty()
+                   ? 1
+                   : layout_block_[static_cast<size_t>(n.inputs[0])];
       default:
         return 1;  // everything else requires/produces plain layout
     }
   }
 
-  void exec_node(const Node& n) {
+  void exec_node(NodeCtx& cx, const Node& n) {
     switch (n.kind) {
       case OpKind::kInput: {
         Value& v = val(n.id);
-        v.tensor = Tensor::random_uniform(n.out_shape, rng_, 0.0f, 1.0f);
+        if (arena_ != nullptr) {
+          Tensor t = arena_acquire(n, n.out_shape, DType::kFloat32,
+                                   /*zero_fill=*/false);
+          for (float& x : t.span_f32()) x = cx.rng.next_float(0.0f, 1.0f);
+          v.tensor = std::move(t);
+        } else {
+          v.tensor =
+              Tensor::random_uniform(n.out_shape, cx.rng, 0.0f, 1.0f);
+          v.heap_bytes = v.tensor.nbytes();
+        }
         v.materialized = true;
         layout_block_[static_cast<size_t>(n.id)] = 1;
         return;
       }
       case OpKind::kConv2d:
-        exec_conv(n);
+        exec_conv(cx, n);
         return;
       case OpKind::kConv2dTranspose: {
-        charge_layout_edges(n, 1);
+        charge_layout_edges(cx, n, 1);
         if (n.place == Place::kCpu) {
-          clock_.charge_fixed(
+          cx.clock.charge_fixed(
               sim::cpu_latency_ms(platform_.cpu, n.deconv.flops(),
                                   n.weight.nbytes(), 0.9),
               n.name);
         } else {
-          clock_.charge(platform_.gpu,
-                        ops::conv2d_transpose_kernel_cost(n.deconv,
-                                                          platform_.gpu));
+          cx.clock.charge(platform_.gpu,
+                          ops::conv2d_transpose_kernel_cost(n.deconv,
+                                                            platform_.gpu));
         }
         finish_heavy(n, [&] {
           Tensor t = ops::conv2d_transpose_reference(
@@ -254,7 +580,7 @@ class ExecutorImpl {
         return;
       }
       case OpKind::kScaleShift: {
-        charge_elementwise(n, n.out_shape.numel(), 1, 2);
+        charge_elementwise(cx, n, n.out_shape.numel(), 1, 2);
         finish_elementwise(n, [&] {
           Tensor t = ops::scale_shift_reference(in_tensor(n), n.scale, n.shift);
           return t;
@@ -262,14 +588,14 @@ class ExecutorImpl {
         return;
       }
       case OpKind::kActivation: {
-        charge_elementwise(n, n.out_shape.numel(), 1, 2);
+        charge_elementwise(cx, n, n.out_shape.numel(), 1, 2);
         finish_elementwise(n, [&] {
           return ops::activation_reference(in_tensor(n), n.act, n.act_alpha);
         });
         return;
       }
       case OpKind::kAdd: {
-        charge_elementwise(n, n.out_shape.numel(), 2, 1);
+        charge_elementwise(cx, n, n.out_shape.numel(), 2, 1);
         finish_elementwise(n, [&] {
           Tensor t = ops::add_reference(in_tensor(n, 0), in_tensor(n, 1));
           if (n.fused_activation) {
@@ -280,7 +606,7 @@ class ExecutorImpl {
         return;
       }
       case OpKind::kConcat: {
-        charge_elementwise(n, n.out_shape.numel(), 1, 0);
+        charge_elementwise(cx, n, n.out_shape.numel(), 1, 0);
         finish_elementwise(n, [&] {
           std::vector<Tensor> ins;
           for (int in : n.inputs) ins.push_back(val(in).tensor);
@@ -291,29 +617,31 @@ class ExecutorImpl {
       case OpKind::kPool2d: {
         const Shape& s = g_.node(n.inputs[0]).out_shape;
         if (n.place == Place::kCpu) {
-          charge_elementwise(n, n.out_shape.numel(), 1,
+          charge_elementwise(cx, n, n.out_shape.numel(), 1,
                              n.pool.kernel * n.pool.kernel);
         } else {
-          clock_.charge(platform_.gpu, ops::pool2d_kernel_cost(s, n.pool));
+          cx.clock.charge(platform_.gpu, ops::pool2d_kernel_cost(s, n.pool));
         }
-        finish_elementwise(n, [&] { return ops::pool2d_reference(in_tensor(n), n.pool); });
+        finish_elementwise(
+            n, [&] { return ops::pool2d_reference(in_tensor(n), n.pool); });
         return;
       }
       case OpKind::kGlobalAvgPool: {
-        charge_elementwise(n, g_.node(n.inputs[0]).out_shape.numel(), 1, 1);
-        finish_elementwise(n,
-                           [&] { return ops::global_avg_pool_reference(in_tensor(n)); });
+        charge_elementwise(cx, n, g_.node(n.inputs[0]).out_shape.numel(), 1, 1);
+        finish_elementwise(
+            n, [&] { return ops::global_avg_pool_reference(in_tensor(n)); });
         return;
       }
       case OpKind::kDense: {
-        charge_layout_edges(n, 1);
+        charge_layout_edges(cx, n, 1);
         if (n.place == Place::kCpu) {
-          clock_.charge_fixed(sim::cpu_latency_ms(platform_.cpu, n.dense.flops(),
-                                                  n.weight.nbytes(), 0.9),
-                              n.name);
+          cx.clock.charge_fixed(
+              sim::cpu_latency_ms(platform_.cpu, n.dense.flops(),
+                                  n.weight.nbytes(), 0.9),
+              n.name);
         } else {
-          clock_.charge(platform_.gpu,
-                        ops::dense_kernel_cost(n.dense, platform_.gpu));
+          cx.clock.charge(platform_.gpu,
+                          ops::dense_kernel_cost(n.dense, platform_.gpu));
         }
         finish_heavy(n, [&] {
           Tensor t = ops::dense_reference(in_tensor(n), n.weight,
@@ -327,86 +655,89 @@ class ExecutorImpl {
         return;
       }
       case OpKind::kFlatten: {
-        charge_layout_edges(n, 1);
-        // A view: no kernel.
-        Value& v = val(n.id);
-        v.tensor = val(n.inputs[0]).tensor.reshape(n.out_shape);
-        v.materialized = val(n.inputs[0]).materialized;
+        charge_layout_edges(cx, n, 1);
+        set_aliased(n);  // a view on the heap; a copy under the arena
         layout_block_[static_cast<size_t>(n.id)] = 1;
         return;
       }
       case OpKind::kSoftmax: {
-        charge_layout_edges(n, 1);
-        charge_elementwise(n, n.out_shape.numel(), 1, 4);
-        finish_elementwise(n, [&] { return ops::softmax_reference(in_tensor(n)); });
+        charge_layout_edges(cx, n, 1);
+        charge_elementwise(cx, n, n.out_shape.numel(), 1, 4);
+        finish_elementwise(
+            n, [&] { return ops::softmax_reference(in_tensor(n)); });
         return;
       }
       case OpKind::kUpsample2x: {
-        charge_elementwise(n, n.out_shape.numel(), 1, 0);
-        finish_elementwise(n, [&] { return ops::upsample2x_reference(in_tensor(n)); });
+        charge_elementwise(cx, n, n.out_shape.numel(), 1, 0);
+        finish_elementwise(
+            n, [&] { return ops::upsample2x_reference(in_tensor(n)); });
         return;
       }
       case OpKind::kDeviceCopy: {
         const int64_t bytes = n.out_shape.numel() * 4;
-        clock_.charge_copy(platform_.gpu, bytes, n.name);
-        Value& v = val(n.id);
-        v.tensor = val(n.inputs[0]).tensor;
-        v.materialized = val(n.inputs[0]).materialized;
+        cx.clock.charge_copy(platform_.gpu, bytes, n.name);
+        set_aliased(n);
         layout_block_[static_cast<size_t>(n.id)] =
             layout_block_[static_cast<size_t>(n.inputs[0])];
         return;
       }
       case OpKind::kMultiboxDetection:
-        exec_multibox(n);
+        exec_multibox(cx, n);
         return;
       case OpKind::kSsdDetection:
-        exec_ssd_detection(n);
+        exec_ssd_detection(cx, n);
         return;
       case OpKind::kYoloDecode: {
-        charge_layout_edges(n, 1);
+        charge_layout_edges(cx, n, 1);
         Tensor head = val(n.inputs[0]).materialized
                           ? in_tensor(n)
                           : synthesize_yolo_head(g_.node(n.inputs[0]).out_shape,
-                                                 rng_);
-        Value& v = val(n.id);
+                                                 cx.rng);
+        Tensor out;
         if (n.place == Place::kCpu) {
-          v.tensor = ops::yolo_decode_reference(head, n.yolo);
-          clock_.charge_fixed(
-              sim::cpu_latency_ms(platform_.cpu,
-                                  head.numel() * 8, head.nbytes(), 0.9),
+          out = ops::yolo_decode_reference(head, n.yolo);
+          cx.clock.charge_fixed(
+              sim::cpu_latency_ms(platform_.cpu, head.numel() * 8,
+                                  head.nbytes(), 0.9),
               n.name);
         } else {
-          v.tensor = ops::yolo_decode_gpu(gpu_, head, n.yolo);
+          out = ops::yolo_decode_gpu(cx.gpu, head, n.yolo);
         }
-        v.materialized = true;
+        set_computed(n, std::move(out));
         return;
       }
       case OpKind::kDetectionConcat: {
-        charge_elementwise(n, n.out_shape.numel(), 1, 0);
-        Value& v = val(n.id);
-        v.tensor = Tensor(n.out_shape, DType::kFloat32);
+        charge_elementwise(cx, n, n.out_shape.numel(), 1, 0);
+        Tensor out = arena_ != nullptr
+                         ? arena_acquire(n, n.out_shape, DType::kFloat32,
+                                         /*zero_fill=*/false)
+                         : Tensor(n.out_shape, DType::kFloat32);
         int64_t off = 0;
         const int64_t bsz = n.out_shape[0];
         const int64_t total = n.out_shape[1];
         for (int in : n.inputs) {
-          const Tensor& t = val(in).materialized
-                                ? val(in).tensor
-                                : synthesize_nms_input(g_.node(in).out_shape, rng_);
+          const Tensor& t =
+              val(in).materialized
+                  ? val(in).tensor
+                  : synthesize_nms_input(g_.node(in).out_shape, cx.rng);
           const int64_t ni = t.shape()[1];
           for (int64_t b = 0; b < bsz; ++b) {
             std::copy(t.data_f32() + b * ni * 6, t.data_f32() + (b + 1) * ni * 6,
-                      v.tensor.data_f32() + (b * total + off) * 6);
+                      out.data_f32() + (b * total + off) * 6);
           }
           off += ni;
         }
+        Value& v = val(n.id);
+        if (arena_ == nullptr) v.heap_bytes = out.nbytes();
+        v.tensor = std::move(out);
         v.materialized = true;
         return;
       }
       case OpKind::kBoxNms:
-        exec_box_nms(n);
+        exec_box_nms(cx, n);
         return;
       case OpKind::kRoiAlign: {
-        charge_layout_edges(n, 1);
+        charge_layout_edges(cx, n, 1);
         const bool have = in_materialized(n);
         Tensor feats = have ? in_tensor(n, 0)
                             : Tensor::zeros(g_.node(n.inputs[0]).out_shape);
@@ -417,26 +748,28 @@ class ExecutorImpl {
           rois = Tensor(g_.node(n.inputs[1]).out_shape, DType::kFloat32);
           for (int64_t r = 0; r < rois.shape()[0]; ++r) {
             float* row = rois.data_f32() + r * 5;
-            row[0] = static_cast<float>(rng_.next_int(0, fs[0] - 1));
-            const float x1 = rng_.next_float(0.0f, static_cast<float>(fs[3]) * 0.6f);
-            const float y1 = rng_.next_float(0.0f, static_cast<float>(fs[2]) * 0.6f);
+            row[0] = static_cast<float>(cx.rng.next_int(0, fs[0] - 1));
+            const float x1 =
+                cx.rng.next_float(0.0f, static_cast<float>(fs[3]) * 0.6f);
+            const float y1 =
+                cx.rng.next_float(0.0f, static_cast<float>(fs[2]) * 0.6f);
             row[1] = x1;
             row[2] = y1;
-            row[3] = x1 + rng_.next_float(2.0f, static_cast<float>(fs[3]) * 0.4f);
-            row[4] = y1 + rng_.next_float(2.0f, static_cast<float>(fs[2]) * 0.4f);
+            row[3] = x1 + cx.rng.next_float(2.0f, static_cast<float>(fs[3]) * 0.4f);
+            row[4] = y1 + cx.rng.next_float(2.0f, static_cast<float>(fs[2]) * 0.4f);
           }
         }
-        Value& v = val(n.id);
+        Tensor out;
         if (n.place == Place::kCpu) {
-          v.tensor = ops::roi_align_reference(feats, rois, n.roi);
-          clock_.charge_fixed(
+          out = ops::roi_align_reference(feats, rois, n.roi);
+          cx.clock.charge_fixed(
               sim::cpu_latency_ms(platform_.cpu, n.out_shape.numel() * 40,
                                   feats.nbytes(), 0.9),
               n.name);
         } else {
-          v.tensor = ops::roi_align_gpu(gpu_, feats, rois, n.roi);
+          out = ops::roi_align_gpu(cx.gpu, feats, rois, n.roi);
         }
-        v.materialized = true;
+        set_computed(n, std::move(out));
         return;
       }
     }
@@ -446,16 +779,13 @@ class ExecutorImpl {
   // Elementwise helpers: numerics only when inputs are materialized.
   template <typename Fn>
   void finish_elementwise(const Node& n, Fn&& compute) {
-    Value& v = val(n.id);
     if (opts_.compute_numerics && in_materialized(n)) {
-      v.tensor = compute();
-      v.materialized = true;
+      Tensor t = compute();
+      IGC_CHECK(t.shape() == n.out_shape) << n.name << ": " << t.shape().str();
+      set_computed(n, std::move(t));
     } else {
-      v.tensor = Tensor::zeros(n.out_shape);
-      v.materialized = false;
+      set_placeholder(n);
     }
-    IGC_CHECK(v.tensor.shape() == n.out_shape)
-        << n.name << ": " << v.tensor.shape().str();
     layout_block_[static_cast<size_t>(n.id)] = propagate_layout(n, 1);
   }
 
@@ -464,12 +794,12 @@ class ExecutorImpl {
     finish_elementwise(n, std::forward<Fn>(compute));
   }
 
-  void exec_conv(const Node& n) {
+  void exec_conv(NodeCtx& cx, const Node& n) {
     const int block = [&] {
       auto it = opts_.conv_layout_block.find(n.id);
       return it == opts_.conv_layout_block.end() ? 1 : it->second;
     }();
-    charge_layout_edges(n, block);
+    charge_layout_edges(cx, n, block);
     const tune::ScheduleConfig cfg =
         opts_.use_tuned_configs
             ? tune::lookup_or_default(n.conv, platform_.gpu, block, opts_.db)
@@ -480,16 +810,15 @@ class ExecutorImpl {
                 return c;
               }();
     if (n.place == Place::kCpu) {
-      clock_.charge_fixed(sim::cpu_latency_ms(platform_.cpu, n.conv.flops(),
-                                              n.conv.min_bytes(), 0.9),
-                          n.name);
+      cx.clock.charge_fixed(sim::cpu_latency_ms(platform_.cpu, n.conv.flops(),
+                                                n.conv.min_bytes(), 0.9),
+                            n.name);
     } else {
       sim::KernelLaunch k = ops::conv2d_kernel_cost(n.conv, cfg, platform_.gpu);
       if (n.fused_scale_shift) k.flops += 2 * n.out_shape.numel();
       if (n.fused_activation) k.flops += n.out_shape.numel();
-      clock_.charge(platform_.gpu, k);
+      cx.clock.charge(platform_.gpu, k);
     }
-    Value& v = val(n.id);
     if (opts_.compute_numerics && in_materialized(n)) {
       Tensor t = ops::conv2d_reference(
           in_tensor(n), n.weight, n.bias.defined() ? &n.bias : nullptr, n.conv);
@@ -499,18 +828,16 @@ class ExecutorImpl {
       if (n.fused_activation) {
         t = ops::activation_reference(t, n.fused_act, n.fused_act_alpha);
       }
-      v.tensor = std::move(t);
-      v.materialized = true;
+      set_computed(n, std::move(t));
     } else {
-      v.tensor = Tensor::zeros(n.out_shape);
-      v.materialized = false;
+      set_placeholder(n);
     }
     layout_block_[static_cast<size_t>(n.id)] = block;
   }
 
   /// Shared tail of every multibox path: NMS over the decoded candidates on
   /// the placed device, with the matching cost.
-  Tensor run_nms_stage(const Node& n, const Tensor& decoded,
+  Tensor run_nms_stage(NodeCtx& cx, const Node& n, const Tensor& decoded,
                        const ops::NmsParams& nms) {
     if (n.place == Place::kCpu) {
       int64_t evals = 0;
@@ -519,20 +846,20 @@ class ExecutorImpl {
       const int64_t sort_flops = static_cast<int64_t>(
           static_cast<double>(count) *
           std::log2(static_cast<double>(count) + 2.0) * 4.0);
-      clock_.charge_fixed(
+      cx.clock.charge_fixed(
           sim::cpu_latency_ms(platform_.cpu, evals * 16 + sort_flops,
                               decoded.nbytes() * 2, 0.3),
           n.name + "_nms_cpu");
       return out;
     }
     if (opts_.optimized_vision_ops) {
-      return ops::box_nms_gpu(gpu_, decoded, nms);
+      return ops::box_nms_gpu(cx.gpu, decoded, nms);
     }
-    return ops::box_nms_gpu_naive(gpu_, decoded, nms);
+    return ops::box_nms_gpu_naive(cx.gpu, decoded, nms);
   }
 
-  void exec_multibox(const Node& n) {
-    charge_layout_edges(n, 1);
+  void exec_multibox(NodeCtx& cx, const Node& n) {
+    charge_layout_edges(cx, n, 1);
     const bool have = in_materialized(n);
     // The (B, C, N) class-probability tensor: dim 1 is the class axis
     // (class 0 = background). Synthesize realistic probabilities directly.
@@ -546,8 +873,8 @@ class ExecutorImpl {
         for (int64_t c = 0; c < nc; ++c) {
           for (int64_t i = 0; i < na; ++i) {
             float v = c == 0 ? 0.95f : 0.002f;
-            if (c != 0 && rng_.next_double() < 0.002) {
-              v = rng_.next_float(0.2f, 0.9f);
+            if (c != 0 && cx.rng.next_double() < 0.002) {
+              v = cx.rng.next_float(0.2f, 0.9f);
             }
             cls.data_f32()[(b * nc + c) * na + i] = v;
           }
@@ -556,28 +883,26 @@ class ExecutorImpl {
     }
     Tensor loc = have ? in_tensor(n, 1)
                       : Tensor::random_normal(g_.node(n.inputs[1]).out_shape,
-                                              rng_, 0.3f);
+                                              cx.rng, 0.3f);
     // Decode stage.
     const Tensor decoded =
         ops::multibox_decode_reference(cls, loc, n.anchors, n.mbox);
     if (n.place == Place::kCpu) {
-      clock_.charge_fixed(
+      cx.clock.charge_fixed(
           sim::cpu_latency_ms(platform_.cpu, cls.numel() * 4,
                               cls.nbytes() + loc.nbytes(), 0.8),
           n.name + "_decode_cpu");
     } else {
-      gpu_.launch_elementwise("multibox_decode",
-                              cls.shape()[0] * n.anchors.shape()[0],
-                              [](int64_t) {}, 2 * cls.shape()[1] + 20,
-                              4 * (cls.shape()[1] + 8));
+      cx.gpu.launch_elementwise("multibox_decode",
+                                cls.shape()[0] * n.anchors.shape()[0],
+                                [](int64_t) {}, 2 * cls.shape()[1] + 20,
+                                4 * (cls.shape()[1] + 8));
     }
-    Value& v = val(n.id);
-    v.tensor = run_nms_stage(n, decoded, n.mbox.nms);
-    v.materialized = true;
+    set_computed(n, run_nms_stage(cx, n, decoded, n.mbox.nms));
   }
 
-  void exec_ssd_detection(const Node& n) {
-    charge_layout_edges(n, 1);
+  void exec_ssd_detection(NodeCtx& cx, const Node& n) {
+    charge_layout_edges(cx, n, 1);
     const int64_t c1 = n.ssd_num_classes;
     const int64_t total = n.out_shape[1];
     const int64_t bsz = n.out_shape[0];
@@ -596,11 +921,11 @@ class ExecutorImpl {
       const int64_t gw = cs[3];
       const Tensor cls_t = val(cls_id).materialized
                                ? val(cls_id).tensor
-                               : synthesize_ssd_cls(cs, c1, rng_);
+                               : synthesize_ssd_cls(cs, c1, cx.rng);
       const Tensor loc_t =
           val(loc_id).materialized
               ? val(loc_id).tensor
-              : Tensor::random_normal(g_.node(loc_id).out_shape, rng_, 0.3f);
+              : Tensor::random_normal(g_.node(loc_id).out_shape, cx.rng, 0.3f);
       const float* cp = cls_t.data_f32();
       const float* lp = loc_t.data_f32();
       for (int64_t b = 0; b < bsz; ++b) {
@@ -638,36 +963,35 @@ class ExecutorImpl {
     IGC_CHECK_EQ(anchor_off, total);
 
     // Charge the assembly + per-anchor softmax as one elementwise kernel.
-    charge_elementwise(n, bsz * total * c1, 1, 6);
+    charge_elementwise(cx, n, bsz * total * c1, 1, 6);
 
     // Decode stage.
     const Tensor decoded =
         ops::multibox_decode_reference(cls_prob, loc_pred, n.anchors, n.mbox);
     if (n.place == Place::kCpu) {
-      clock_.charge_fixed(
+      cx.clock.charge_fixed(
           sim::cpu_latency_ms(platform_.cpu, cls_prob.numel() * 4,
                               cls_prob.nbytes() + loc_pred.nbytes(), 0.8),
           n.name + "_decode_cpu");
     } else {
-      gpu_.launch_elementwise("ssd_decode", bsz * total, [](int64_t) {},
-                              2 * c1 + 20, 4 * (c1 + 8));
+      cx.gpu.launch_elementwise("ssd_decode", bsz * total, [](int64_t) {},
+                                2 * c1 + 20, 4 * (c1 + 8));
     }
-    Value& v = val(n.id);
-    v.tensor = run_nms_stage(n, decoded, n.mbox.nms);
-    v.materialized = true;
+    set_computed(n, run_nms_stage(cx, n, decoded, n.mbox.nms));
   }
 
-  void exec_box_nms(const Node& n) {
-    charge_layout_edges(n, 1);
+  void exec_box_nms(NodeCtx& cx, const Node& n) {
+    charge_layout_edges(cx, n, 1);
     Tensor in = val(n.inputs[0]).materialized
                     ? in_tensor(n)
-                    : synthesize_nms_input(g_.node(n.inputs[0]).out_shape, rng_);
-    Value& v = val(n.id);
+                    : synthesize_nms_input(g_.node(n.inputs[0]).out_shape,
+                                           cx.rng);
+    Tensor out;
     if (n.place == Place::kCpu) {
       int64_t evals = 0;
-      v.tensor = ops::box_nms_reference_counted(in, n.nms, &evals);
+      out = ops::box_nms_reference_counted(in, n.nms, &evals);
       const int64_t count = in.shape()[0] * in.shape()[1];
-      clock_.charge_fixed(
+      cx.clock.charge_fixed(
           sim::cpu_latency_ms(
               platform_.cpu,
               evals * 16 +
@@ -676,22 +1000,36 @@ class ExecutorImpl {
               in.nbytes() * 2, 0.3),
           n.name);
     } else if (opts_.optimized_vision_ops) {
-      v.tensor = ops::box_nms_gpu(gpu_, in, n.nms);
+      out = ops::box_nms_gpu(cx.gpu, in, n.nms);
     } else {
-      v.tensor = ops::box_nms_gpu_naive(gpu_, in, n.nms);
+      out = ops::box_nms_gpu_naive(cx.gpu, in, n.nms);
     }
-    v.materialized = true;
+    set_computed(n, std::move(out));
   }
 
   const Graph& g_;
   const sim::Platform& platform_;
   const ExecOptions& opts_;
-  Rng& rng_;
-  sim::SimClock clock_;
-  sim::GpuSimulator gpu_;
+  Rng& input_rng_;
+  uint64_t base_seed_ = 0;
+
   std::vector<Value> values_;
   std::vector<bool> live_;
   std::vector<int> layout_block_;
+  std::vector<int> pending_;
+  std::vector<NodeRun> node_runs_;
+
+  // Arena state (null when opts_.use_arena is off).
+  std::optional<MemoryPlan> local_plan_;
+  std::optional<BufferArena> local_arena_;
+  const MemoryPlan* plan_ = nullptr;
+  BufferArena* arena_ = nullptr;
+
+  // Guards pending_/indegree bookkeeping, value release, and peak-memory
+  // accounting under wavefront dispatch.
+  std::mutex sched_mu_;
+  int64_t heap_in_use_ = 0;
+  int64_t peak_bytes_ = 0;
 };
 
 }  // namespace

@@ -1,11 +1,31 @@
 // The heterogeneous graph executor.
 //
-// Walks an optimized graph in topological order, runs every node on its
-// placed device (the simulated integrated GPU, or the companion CPU for
-// fallback ops), charges the simulated clock, and — in numerics mode —
-// produces real output tensors validated against reference pipelines.
+// Runs an optimized graph against a simulated platform in one of two
+// dispatch modes:
 //
-// Two execution modes:
+//   * kSequential — walks nodes in topological order on the calling thread.
+//     Simulated latency is the serial sum of every kernel charge (one
+//     in-order queue, the paper's baseline executor).
+//   * kWavefront  — dispatches every node whose dependencies have resolved
+//     onto the scheduler thread pool, so independent branches (Inception
+//     limbs, SSD/YOLO heads) and CPU-fallback operators execute concurrently
+//     with GPU work on the host. Simulated latency is the critical-path
+//     makespan of a deterministic per-lane schedule (GPU queue, companion
+//     CPU, copy engine — see sim::LaneSchedule), not the serial sum.
+//
+// Both modes produce bit-identical outputs: every node draws its synthetic
+// data from a private Rng seeded from (input seed, node name), so numerics
+// never depend on dispatch order or on which nodes run concurrently.
+//
+// Intermediate tensors can come from a plan-backed BufferArena (see
+// src/tensor/arena.h) sized by plan_memory(): buffers are recycled across
+// nodes within a run and, when the caller keeps the arena (CompiledModel
+// does), across repeated runs — steady-state serving then performs no
+// intermediate heap allocations for node outputs. Under wavefront dispatch,
+// anti-dependency edges derived from the plan keep a reused buffer from
+// being acquired while a concurrent node still reads its previous contents.
+//
+// Two execution modes for numerics:
 //   * numerics on  — every operator computes its real output (tests,
 //     examples, small inputs);
 //   * numerics off — compute-heavy tensor ops propagate shapes only while
@@ -20,11 +40,15 @@
 
 #include "core/rng.h"
 #include "graph/graph.h"
+#include "graph/memory_planner.h"
 #include "sim/clock.h"
 #include "sim/device_spec.h"
+#include "tensor/arena.h"
 #include "tune/tunedb.h"
 
 namespace igc::graph {
+
+enum class ExecMode { kSequential, kWavefront };
 
 struct ExecOptions {
   bool compute_numerics = true;
@@ -35,21 +59,48 @@ struct ExecOptions {
   const tune::TuneDb* db = nullptr;
   /// Graph-tuner layout choice per conv node id (block size, 1 = NCHW).
   std::map<int, int> conv_layout_block;
+
+  /// Dispatch mode (see file comment). Outputs are identical either way.
+  ExecMode mode = ExecMode::kSequential;
+  /// Back node outputs with a plan_memory()-sized buffer arena instead of
+  /// fresh heap tensors. When `arena` is null a private arena is built for
+  /// the run; pass a persistent arena (plus its plan) to reuse buffers
+  /// across runs.
+  bool use_arena = false;
+  /// Persistent arena and the memory plan it was sized from. Both or
+  /// neither; ignored unless use_arena. Concurrent runs must not share one.
+  BufferArena* arena = nullptr;
+  const MemoryPlan* plan = nullptr;
 };
 
 struct ExecResult {
   Tensor output;
+  /// Simulated end-to-end latency under the chosen dispatch mode: serial
+  /// sum for kSequential, per-lane critical path for kWavefront.
   double latency_ms = 0.0;
-  /// Per-category breakdown (conv / vision / copies / everything else).
+  /// Serial sum of every node's charge (== kSequential latency).
+  double serial_ms = 0.0;
+  /// Per-lane critical-path makespan (== kWavefront latency). Also filled
+  /// in sequential runs, so one run reports both time models.
+  double critical_path_ms = 0.0;
+  /// Per-category breakdown (conv / vision / copies / everything else) of
+  /// the serial sum.
   double conv_ms = 0.0;
   double vision_ms = 0.0;
   double copy_ms = 0.0;
   double other_ms = 0.0;
+  /// High-water mark of live node-output bytes (arena + heap) during the
+  /// run. With an arena this is bounded by MemoryPlan::total_bytes().
+  int64_t peak_intermediate_bytes = 0;
+  /// Capacity of the arena used (0 when use_arena is off).
+  int64_t arena_bytes = 0;
   std::vector<sim::ClockEvent> events;
 };
 
 /// Executes `g` on `platform`. `input_rng` seeds the synthetic model input
-/// (and, in shapes-only mode, the synthetic detection tensors).
+/// (and, in shapes-only mode, the synthetic detection tensors): one value is
+/// drawn from it, and every node derives a private Rng from that value and
+/// its stable node name.
 ExecResult execute(const Graph& g, const sim::Platform& platform,
                    const ExecOptions& opts, Rng& input_rng);
 

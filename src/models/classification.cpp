@@ -148,4 +148,63 @@ Model build_squeezenet(Rng& rng, int64_t image_size, int64_t batch,
   return m;
 }
 
+namespace {
+
+/// The four-branch GoogLeNet module: 1x1 | 1x1->3x3 | 1x1->5x5 | pool->1x1,
+/// channel-concatenated. All branches fork from one input and meet only at
+/// the concat, so they can execute in parallel.
+int inception_module(graph::Graph& g, Rng& rng, const std::string& name,
+                     int input, int64_t c1, int64_t c3r, int64_t c3,
+                     int64_t c5r, int64_t c5, int64_t cp) {
+  const int b1 = conv_bn_act(g, rng, name + "_1x1", input, c1, 1, 1, 0);
+  int b2 = conv_bn_act(g, rng, name + "_3x3r", input, c3r, 1, 1, 0);
+  b2 = conv_bn_act(g, rng, name + "_3x3", b2, c3, 3, 1, 1);
+  int b3 = conv_bn_act(g, rng, name + "_5x5r", input, c5r, 1, 1, 0);
+  b3 = conv_bn_act(g, rng, name + "_5x5", b3, c5, 5, 1, 2);
+  ops::Pool2dParams pp;
+  pp.kind = ops::PoolKind::kMax;
+  pp.kernel = 3;
+  pp.stride = 1;
+  pp.pad = 1;
+  int b4 = g.add_pool2d(name + "_pool", input, pp);
+  b4 = conv_bn_act(g, rng, name + "_pool_proj", b4, cp, 1, 1, 0);
+  return g.add_concat(name + "_concat", {b1, b2, b3, b4});
+}
+
+}  // namespace
+
+Model build_inception_v1(Rng& rng, int64_t image_size, int64_t batch,
+                         int64_t num_classes) {
+  Model m;
+  m.name = "InceptionV1";
+  graph::Graph& g = m.graph;
+  const int input = g.add_input("data", Shape{batch, 3, image_size, image_size});
+  ops::Pool2dParams mp;
+  mp.kind = ops::PoolKind::kMax;
+  mp.kernel = 3;
+  mp.stride = 2;
+  mp.pad = 1;
+  int x = conv_bn_act(g, rng, "conv1", input, 64, 7, 2, 3);
+  x = g.add_pool2d("pool1", x, mp);
+  x = conv_bn_act(g, rng, "conv2_reduce", x, 64, 1, 1, 0);
+  x = conv_bn_act(g, rng, "conv2", x, 192, 3, 1, 1);
+  x = g.add_pool2d("pool2", x, mp);
+
+  x = inception_module(g, rng, "inc3a", x, 64, 96, 128, 16, 32, 32);
+  x = inception_module(g, rng, "inc3b", x, 128, 128, 192, 32, 96, 64);
+  x = g.add_pool2d("pool3", x, mp);
+  x = inception_module(g, rng, "inc4a", x, 192, 96, 208, 16, 48, 64);
+  x = inception_module(g, rng, "inc4b", x, 160, 112, 224, 24, 64, 64);
+  x = inception_module(g, rng, "inc4c", x, 128, 128, 256, 24, 64, 64);
+  x = inception_module(g, rng, "inc4d", x, 112, 144, 288, 32, 64, 64);
+  x = inception_module(g, rng, "inc4e", x, 256, 160, 320, 32, 128, 128);
+  x = g.add_pool2d("pool4", x, mp);
+  x = inception_module(g, rng, "inc5a", x, 256, 160, 320, 32, 128, 128);
+  x = inception_module(g, rng, "inc5b", x, 384, 192, 384, 48, 128, 128);
+  const int out = classifier_head(g, rng, x, num_classes);
+  g.set_output(out);
+  g.validate();
+  return m;
+}
+
 }  // namespace igc::models

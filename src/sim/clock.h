@@ -1,7 +1,13 @@
 // Simulated clock: accumulates the latency of every kernel launch and copy,
 // and keeps a per-event trace for the benchmark reports.
+//
+// Also defines the device *lanes* of the heterogeneous platform (GPU queue,
+// companion-CPU queue, copy engine) and a LaneSchedule that merges per-node
+// charges along the critical path — the wavefront executor's time model,
+// where independent CPU-fallback and GPU work overlap instead of summing.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -51,6 +57,44 @@ class SimClock {
  private:
   double total_ms_ = 0.0;
   std::vector<ClockEvent> events_;
+};
+
+/// Execution lanes of one heterogeneous platform. Work within a lane
+/// serializes (one in-order queue per device engine, as with a single
+/// OpenCL/CUDA stream); work across lanes overlaps freely.
+enum class Lane { kGpu = 0, kCpu = 1, kCopy = 2 };
+inline constexpr int kNumLanes = 3;
+
+/// Deterministic list scheduler over the platform lanes: nodes are offered
+/// in a fixed (topological) order, each starting when both its dependencies
+/// have finished and its lane is free. The resulting makespan is the
+/// simulated wavefront latency; the serial sum of durations is the
+/// sequential executor's latency.
+class LaneSchedule {
+ public:
+  /// Schedules a segment of `duration_ms` on `lane`, not starting before
+  /// `ready_ms`. Returns the finish time.
+  double schedule(Lane lane, double ready_ms, double duration_ms) {
+    double& free_at = lane_free_[static_cast<int>(lane)];
+    const double start = std::max(free_at, ready_ms);
+    free_at = start + duration_ms;
+    return free_at;
+  }
+
+  /// Time at which `lane` next becomes free.
+  double lane_free_ms(Lane lane) const {
+    return lane_free_[static_cast<int>(lane)];
+  }
+
+  /// Finish time of the last segment across all lanes.
+  double makespan_ms() const {
+    double m = 0.0;
+    for (double t : lane_free_) m = std::max(m, t);
+    return m;
+  }
+
+ private:
+  double lane_free_[kNumLanes] = {0.0, 0.0, 0.0};
 };
 
 }  // namespace igc::sim

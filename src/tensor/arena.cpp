@@ -1,0 +1,71 @@
+#include "tensor/arena.h"
+
+#include <cstring>
+
+#include "core/error.h"
+
+namespace igc {
+
+BufferArena::BufferArena(std::vector<int64_t> buffer_bytes) {
+  bufs_.reserve(buffer_bytes.size());
+  for (int64_t bytes : buffer_bytes) {
+    IGC_CHECK_GE(bytes, 0);
+    Slab s;
+    s.bytes = bytes;
+    bufs_.push_back(std::move(s));
+    capacity_bytes_ += bytes;
+  }
+}
+
+Tensor BufferArena::acquire(int buffer_id, const Shape& shape, DType dtype,
+                            bool zero_fill) {
+  std::shared_ptr<char[]> data;
+  int64_t bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    IGC_CHECK_GE(buffer_id, 0);
+    IGC_CHECK_LT(buffer_id, static_cast<int>(bufs_.size()));
+    Slab& s = bufs_[static_cast<size_t>(buffer_id)];
+    IGC_CHECK(!s.in_use) << "arena buffer " << buffer_id
+                         << " acquired while in use";
+    if (!s.data) {
+      s.data = std::shared_ptr<char[]>(
+          new char[static_cast<size_t>(std::max<int64_t>(s.bytes, 1))]);
+    }
+    s.in_use = true;
+    in_use_ += s.bytes;
+    peak_ = std::max(peak_, in_use_);
+    data = s.data;
+    bytes = s.bytes;
+  }
+  Tensor t = Tensor::wrap(shape, dtype, std::move(data), bytes);
+  if (zero_fill) std::memset(t.raw_data(), 0, static_cast<size_t>(t.nbytes()));
+  return t;
+}
+
+void BufferArena::release(int buffer_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  IGC_CHECK_GE(buffer_id, 0);
+  IGC_CHECK_LT(buffer_id, static_cast<int>(bufs_.size()));
+  Slab& s = bufs_[static_cast<size_t>(buffer_id)];
+  IGC_CHECK(s.in_use) << "arena buffer " << buffer_id << " double-released";
+  s.in_use = false;
+  in_use_ -= s.bytes;
+}
+
+int64_t BufferArena::in_use_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_use_;
+}
+
+int64_t BufferArena::peak_in_use_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
+}
+
+void BufferArena::reset_peak() {
+  std::lock_guard<std::mutex> lock(mu_);
+  peak_ = in_use_;
+}
+
+}  // namespace igc

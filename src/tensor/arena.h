@@ -1,0 +1,64 @@
+// Plan-backed buffer arena for graph execution.
+//
+// The memory planner (src/graph/memory_planner.h) proves how few distinct
+// buffers a graph run needs; this arena owns exactly those buffers so that
+// steady-state serving does zero intermediate heap allocations: the executor
+// acquires a node's planned buffer, views it as a tensor, and releases it
+// after the node's last consumer. The arena outlives individual runs — a
+// CompiledModel keeps one and reuses it across repeated run() calls.
+//
+// Thread safety: acquire/release are mutex-guarded so wavefront-concurrent
+// nodes may call them freely. Two *runs* sharing one arena must still be
+// externally serialized (the buffers themselves would alias).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace igc {
+
+class BufferArena {
+ public:
+  /// One slab per planned buffer, sized `buffer_bytes[i]`. Slabs are
+  /// allocated lazily on first acquire, so untouched buffers cost nothing.
+  explicit BufferArena(std::vector<int64_t> buffer_bytes);
+
+  /// Acquires buffer `buffer_id` viewed as a float32/int32 tensor of `shape`.
+  /// `zero_fill` clears the slab first (needed only when the contents may be
+  /// read before being fully written). The buffer must currently be free.
+  Tensor acquire(int buffer_id, const Shape& shape, DType dtype,
+                 bool zero_fill);
+
+  /// Returns `buffer_id` to the free pool. Tensors still viewing the slab
+  /// keep the storage alive but the arena may hand it to the next acquirer —
+  /// callers release only after the last reader is done.
+  void release(int buffer_id);
+
+  int num_buffers() const { return static_cast<int>(bufs_.size()); }
+  /// Sum of all planned slab sizes (== MemoryPlan::total_bytes()).
+  int64_t capacity_bytes() const { return capacity_bytes_; }
+  /// Bytes of slabs currently acquired.
+  int64_t in_use_bytes() const;
+  /// High-water mark of in_use_bytes() since construction or reset_peak().
+  int64_t peak_in_use_bytes() const;
+  void reset_peak();
+
+ private:
+  struct Slab {
+    std::shared_ptr<char[]> data;  // null until first acquire
+    int64_t bytes = 0;
+    bool in_use = false;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Slab> bufs_;
+  int64_t capacity_bytes_ = 0;
+  int64_t in_use_ = 0;
+  int64_t peak_ = 0;
+};
+
+}  // namespace igc

@@ -48,6 +48,18 @@ Tensor Tensor::from_vector_i32(Shape shape, const std::vector<int32_t>& values) 
   return t;
 }
 
+Tensor Tensor::wrap(Shape shape, DType dtype, std::shared_ptr<char[]> data,
+                    int64_t capacity_bytes) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.dtype_ = dtype;
+  IGC_CHECK(data != nullptr);
+  IGC_CHECK_LE(t.nbytes(), capacity_bytes)
+      << "tensor " << t.shape_.str() << " does not fit the wrapped buffer";
+  t.data_ = std::move(data);
+  return t;
+}
+
 Tensor Tensor::clone() const {
   Tensor t(shape_, dtype_);
   std::memcpy(t.raw_data(), raw_data(), static_cast<size_t>(nbytes()));

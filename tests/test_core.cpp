@@ -135,5 +135,115 @@ TEST(ThreadPool, ZeroAndOneIterations) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST(ThreadPool, ParallelForJoinsChunksBeforeReturning) {
+  // Regression test: parallel_for used to signal completion before the last
+  // chunk task had finished touching the call's stack frame, so a caller
+  // could destroy the state (here: `data` and the synchronization itself)
+  // while a worker was still using it. Many short calls with by-reference
+  // captures make the stale-frame window wide enough to crash or trip TSan.
+  ThreadPool pool(4);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::vector<int> data(64, 0);
+    pool.parallel_for(64, [&](int64_t i) { data[static_cast<size_t>(i)] = 1; });
+    for (int v : data) ASSERT_EQ(v, 1);
+  }
+}
+
+TEST(ThreadPool, ExceptionPathStillJoinsChunks) {
+  // Same lifetime guarantee on the throwing path: after the rethrow no chunk
+  // may still be running (the by-reference capture of `touched` would be a
+  // use-after-scope otherwise).
+  ThreadPool pool(4);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::atomic<int> touched{0};
+    EXPECT_THROW(pool.parallel_for(32,
+                                   [&](int64_t i) {
+                                     touched++;
+                                     if (i % 8 == 0) throw Error("boom");
+                                   }),
+                 Error);
+    EXPECT_GT(touched.load(), 0);
+  }
+}
+
+TEST(TaskGroup, RunsAllTasksAndWaits) {
+  ThreadPool pool(4);
+  TaskGroup group(pool);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    group.run([&] { count++; });
+  }
+  group.wait();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_FALSE(group.failed());
+}
+
+TEST(TaskGroup, TasksMaySpawnTasks) {
+  // The wavefront executor's dispatch pattern: a finishing node schedules
+  // its newly-ready successors from inside its own task.
+  ThreadPool pool(4);
+  TaskGroup group(pool);
+  std::atomic<int> count{0};
+  std::function<void(int)> spawn = [&](int depth) {
+    group.run([&, depth] {
+      count++;
+      if (depth < 5) {
+        spawn(depth + 1);
+        spawn(depth + 1);
+      }
+    });
+  };
+  spawn(0);
+  group.wait();
+  EXPECT_EQ(count.load(), (1 << 6) - 1);  // full binary tree of depth 5
+}
+
+TEST(TaskGroup, WaitRethrowsAndFailedIsSticky) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    group.run([&, i] {
+      ran++;
+      if (i == 3) throw Error("task failed");
+    });
+  }
+  EXPECT_THROW(group.wait(), Error);
+  EXPECT_TRUE(group.failed());
+  EXPECT_EQ(ran.load(), 16);  // an error does not cancel already-queued work
+  EXPECT_NO_THROW(group.wait());  // the error is consumed by the first wait
+}
+
+TEST(TaskGroup, DestructorJoinsOutstandingTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  {
+    TaskGroup group(pool);
+    for (int i = 0; i < 50; ++i) {
+      group.run([&] { count++; });
+    }
+    // No wait(): the destructor must join so the capture of `count` stays
+    // valid for every task.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, GlobalAndSchedulerAreDistinct) {
+  EXPECT_NE(&ThreadPool::global(), &ThreadPool::scheduler());
+  EXPECT_FALSE(ThreadPool::global().on_worker_thread());
+  // A scheduler task sees itself on the scheduler pool but not the global
+  // pool, which is what lets node tasks fan work out to global() safely.
+  TaskGroup group(ThreadPool::scheduler());
+  bool on_sched = false;
+  bool on_global = true;
+  group.run([&] {
+    on_sched = ThreadPool::scheduler().on_worker_thread();
+    on_global = ThreadPool::global().on_worker_thread();
+  });
+  group.wait();
+  EXPECT_TRUE(on_sched);
+  EXPECT_FALSE(on_global);
+}
+
 }  // namespace
 }  // namespace igc

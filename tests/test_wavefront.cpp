@@ -1,0 +1,216 @@
+// Tests for the wavefront executor and the plan-backed buffer arena: outputs
+// must be bit-identical to the sequential executor in every mode combination,
+// peak intermediate memory must respect the static plan, and the simulated
+// critical path must never exceed the serial sum (and must beat it when the
+// graph has genuinely overlappable work).
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "graph/executor.h"
+#include "graph/memory_planner.h"
+#include "graph/passes.h"
+#include "models/models.h"
+#include "sim/device_spec.h"
+
+namespace igc {
+namespace {
+
+CompiledModel compile_fast(models::Model model, const sim::Platform& plat,
+                           std::set<graph::OpKind> fallback = {}) {
+  CompileOptions copts;
+  copts.tune_trials = 8;
+  copts.cpu_fallback_ops = std::move(fallback);
+  return compile(std::move(model), plat, copts);
+}
+
+void expect_bit_identical(const Tensor& a, const Tensor& b,
+                          const std::string& what) {
+  ASSERT_TRUE(a.shape() == b.shape()) << what;
+  EXPECT_EQ(a.max_abs_diff(b), 0.0f) << what;
+}
+
+/// Runs every (mode, arena) combination and checks outputs against the
+/// plain sequential run. Returns the baseline result.
+RunResult check_all_modes(const CompiledModel& cm, bool numerics,
+                          uint64_t seed = 0x515) {
+  RunOptions ropts;
+  ropts.input_seed = seed;
+  ropts.compute_numerics = numerics;
+  const RunResult base = cm.run(ropts);
+  for (const graph::ExecMode mode :
+       {graph::ExecMode::kSequential, graph::ExecMode::kWavefront}) {
+    for (const bool arena : {false, true}) {
+      if (mode == graph::ExecMode::kSequential && !arena) continue;
+      ropts.mode = mode;
+      ropts.use_arena = arena;
+      const RunResult r = cm.run(ropts);
+      const std::string what =
+          cm.model_name() +
+          (mode == graph::ExecMode::kWavefront ? " wavefront" : " sequential") +
+          (arena ? "+arena" : "");
+      expect_bit_identical(r.output, base.output, what);
+      // The same per-node charges feed both time models, so these agree no
+      // matter which mode ran.
+      EXPECT_DOUBLE_EQ(r.serial_ms, base.serial_ms) << what;
+      EXPECT_DOUBLE_EQ(r.critical_path_ms, base.critical_path_ms) << what;
+    }
+  }
+  return base;
+}
+
+TEST(Wavefront, ClassificationNumericsBitIdentical) {
+  const sim::Platform& plat = sim::platform(sim::PlatformId::kDeepLens);
+  Rng rng(0x5eed);
+  check_all_modes(compile_fast(models::build_mobilenet(rng, 64), plat), true);
+  check_all_modes(compile_fast(models::build_squeezenet(rng, 64), plat), true);
+  check_all_modes(compile_fast(models::build_inception_v1(rng, 64), plat),
+                  true);
+}
+
+TEST(Wavefront, ResNetAndFcnNumericsBitIdentical) {
+  const sim::Platform& plat = sim::platform(sim::PlatformId::kJetsonNano);
+  Rng rng(0x5eed);
+  check_all_modes(compile_fast(models::build_resnet50(rng, 64), plat), true);
+  check_all_modes(compile_fast(models::build_fcn_resnet50(rng, 64, 1, 5), plat),
+                  true);
+}
+
+TEST(Wavefront, DetectionShapesOnlyBitIdentical) {
+  // Shapes-only is where placeholder handling matters: arena slabs are
+  // deliberately left uninitialized because no op reads them. CPU fallback
+  // adds device-copy nodes and a second execution lane.
+  const sim::Platform& plat = sim::platform(sim::PlatformId::kDeepLens);
+  Rng rng(0x5eed);
+  check_all_modes(
+      compile_fast(models::build_ssd(rng, models::SsdBackbone::kMobileNet, 128),
+                   plat, {graph::OpKind::kSsdDetection}),
+      false);
+  check_all_modes(
+      compile_fast(models::build_yolov3(rng, 128, 1, 20), plat,
+                   {graph::OpKind::kYoloDecode, graph::OpKind::kBoxNms}),
+      false);
+}
+
+TEST(Wavefront, AllPlatformsBitIdentical) {
+  Rng rng(0x5eed);
+  const models::Model m = models::build_inception_v1(rng, 64);
+  for (const sim::Platform& plat : sim::all_platforms()) {
+    models::Model copy{m.name, m.graph};
+    check_all_modes(compile_fast(std::move(copy), plat), false);
+  }
+}
+
+TEST(Wavefront, PeakIntermediateBytesRespectsPlan) {
+  const sim::Platform& plat = sim::platform(sim::PlatformId::kDeepLens);
+  Rng rng(0x5eed);
+  for (CompiledModel cm :
+       {compile_fast(models::build_inception_v1(rng, 64), plat),
+        compile_fast(models::build_ssd(rng, models::SsdBackbone::kMobileNet, 128),
+                     plat, {graph::OpKind::kSsdDetection})}) {
+    const int64_t plan_bytes = cm.memory_plan().total_bytes();
+    for (const graph::ExecMode mode :
+         {graph::ExecMode::kSequential, graph::ExecMode::kWavefront}) {
+      RunOptions ropts;
+      ropts.compute_numerics = false;
+      ropts.mode = mode;
+      ropts.use_arena = true;
+      const RunResult r = cm.run(ropts);
+      EXPECT_GT(r.peak_intermediate_bytes, 0) << cm.model_name();
+      EXPECT_LE(r.peak_intermediate_bytes, plan_bytes) << cm.model_name();
+      EXPECT_EQ(r.arena_bytes, plan_bytes) << cm.model_name();
+    }
+  }
+}
+
+TEST(Wavefront, CriticalPathNeverExceedsSerialSum) {
+  const sim::Platform& plat = sim::platform(sim::PlatformId::kDeepLens);
+  Rng rng(0x5eed);
+  for (CompiledModel cm :
+       {compile_fast(models::build_inception_v1(rng, 64), plat),
+        compile_fast(models::build_mobilenet(rng, 64), plat)}) {
+    RunOptions ropts;
+    ropts.compute_numerics = false;
+    ropts.mode = graph::ExecMode::kWavefront;
+    const RunResult r = cm.run(ropts);
+    EXPECT_EQ(r.latency_ms, r.critical_path_ms);
+    EXPECT_LE(r.critical_path_ms, r.serial_ms * (1.0 + 1e-12));
+    EXPECT_GT(r.critical_path_ms, 0.0);
+  }
+}
+
+TEST(Wavefront, HeterogeneousGraphOverlapsLanes) {
+  // With the YOLO decode heads on the companion CPU, decode of the shallow
+  // scale and its device copies overlap remaining GPU backbone work, so the
+  // per-lane critical path must beat the serial sum strictly.
+  const sim::Platform& plat = sim::platform(sim::PlatformId::kDeepLens);
+  Rng rng(0x5eed);
+  CompiledModel cm =
+      compile_fast(models::build_yolov3(rng, 128, 1, 20), plat,
+                   {graph::OpKind::kYoloDecode, graph::OpKind::kBoxNms});
+  RunOptions ropts;
+  ropts.compute_numerics = false;
+  ropts.mode = graph::ExecMode::kWavefront;
+  const RunResult r = cm.run(ropts);
+  EXPECT_LT(r.critical_path_ms, r.serial_ms);
+}
+
+TEST(Wavefront, RepeatedArenaRunsAreDeterministic) {
+  const sim::Platform& plat = sim::platform(sim::PlatformId::kDeepLens);
+  Rng rng(0x5eed);
+  CompiledModel cm = compile_fast(models::build_inception_v1(rng, 64), plat);
+  RunOptions ropts;
+  ropts.compute_numerics = false;
+  ropts.mode = graph::ExecMode::kWavefront;
+  ropts.use_arena = true;
+  const RunResult first = cm.run(ropts);
+  for (int i = 0; i < 3; ++i) {
+    const RunResult again = cm.run(ropts);  // reuses the serving arena
+    expect_bit_identical(again.output, first.output, "repeat run");
+    EXPECT_DOUBLE_EQ(again.latency_ms, first.latency_ms);
+    EXPECT_EQ(again.arena_bytes, first.arena_bytes);
+  }
+  // Different seeds must still produce different inputs (the arena does not
+  // leak one run's data into the next run's observable output).
+  ropts.input_seed = 0x9999;
+  ropts.compute_numerics = true;
+  const RunResult other = cm.run(ropts);
+  ropts.input_seed = 0x515;
+  const RunResult base = cm.run(ropts);
+  ASSERT_TRUE(other.output.shape() == base.output.shape());
+  EXPECT_GT(other.output.max_abs_diff(base.output), 0.0f);
+}
+
+TEST(Wavefront, ExecutorBuildsLocalArenaWhenNoneProvided) {
+  // graph::execute with use_arena but no caller-provided arena/plan sizes a
+  // private arena from its own plan_memory() call.
+  Rng model_rng(0x5eed);
+  models::Model m = models::build_squeezenet(model_rng, 64);
+  graph::optimize(m.graph);
+  const sim::Platform& plat = sim::platform(sim::PlatformId::kDeepLens);
+
+  graph::ExecOptions opts;
+  Rng rng_a(0x11);
+  const graph::ExecResult plain = graph::execute(m.graph, plat, opts, rng_a);
+
+  opts.use_arena = true;
+  opts.mode = graph::ExecMode::kWavefront;
+  Rng rng_b(0x11);
+  const graph::ExecResult arena = graph::execute(m.graph, plat, opts, rng_b);
+
+  expect_bit_identical(arena.output, plain.output, "local arena");
+  EXPECT_EQ(arena.arena_bytes, graph::plan_memory(m.graph).total_bytes());
+  EXPECT_LE(arena.peak_intermediate_bytes, arena.arena_bytes);
+}
+
+TEST(Wavefront, SequentialModeMatchesSeedExecutorContract) {
+  // The sequential mode must keep the original executor's reporting: latency
+  // is the serial sum and the event trace accounts for all of it.
+  const sim::Platform& plat = sim::platform(sim::PlatformId::kDeepLens);
+  Rng rng(0x5eed);
+  CompiledModel cm = compile_fast(models::build_inception_v1(rng, 64), plat);
+  const RunResult r = cm.run(0x515, false);
+  EXPECT_DOUBLE_EQ(r.latency_ms, r.serial_ms);
+}
+
+}  // namespace
+}  // namespace igc

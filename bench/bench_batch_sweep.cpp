@@ -31,11 +31,9 @@ int main() {
                 plat.name.c_str(), ms[0], ms[1], ms[2], ms[3],
                 (ms[3] / 8.0) / ms[0]);
     for (int b = 0; b < 4; ++b) {
-      bench::JsonObject j;
-      j.field("bench", "batch_sweep")
-          .field("platform", plat.name)
-          .field("model", "ResNet50_v1")
-          .field("batch", batches[b])
+      bench::JsonObject j =
+          bench::bench_row("batch_sweep", plat.name, "ResNet50_v1");
+      j.field("batch", batches[b])
           .field("sim_latency_ms", ms[b])
           .field("sim_ms_per_sample", ms[b] / static_cast<double>(batches[b]));
       j.emit();

@@ -87,4 +87,25 @@ class JsonObject {
   bool first_ = true;
 };
 
+/// Bump when the shared header below (or a bench's row shape) changes
+/// incompatibly, so dashboards can key parsers off it.
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// Starts a row carrying the shared metadata header every BENCH_*.json line
+/// leads with: bench name, schema version, platform, model, and executor
+/// mode ("sequential" | "wavefront" | "all" for rows aggregating both).
+/// Append bench-specific fields to the returned object, then emit().
+inline JsonObject bench_row(const std::string& bench,
+                            const std::string& platform,
+                            const std::string& model,
+                            const std::string& mode = "sequential") {
+  JsonObject j;
+  j.field("bench", bench)
+      .field("schema_version", kBenchSchemaVersion)
+      .field("platform", platform)
+      .field("model", model)
+      .field("mode", mode);
+  return j;
+}
+
 }  // namespace igc::bench

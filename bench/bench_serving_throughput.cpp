@@ -135,13 +135,10 @@ int main(int argc, char** argv) {
                   static_cast<double>(r.rep.peak_intermediate_bytes) /
                       (1024.0 * 1024.0));
 
-      bench::JsonObject j;
-      j.field("bench", "serving")
-          .field("platform", plat.name)
-          .field("model", w.name)
-          .field("config", r.config)
-          .field("mode", cfg.mode == graph::ExecMode::kWavefront ? "wavefront"
-                                                                 : "sequential")
+      bench::JsonObject j = bench::bench_row(
+          "serving", plat.name, w.name,
+          cfg.mode == graph::ExecMode::kWavefront ? "wavefront" : "sequential");
+      j.field("config", r.config)
           .field("arena", cfg.arena)
           .field("runs", w.runs)
           .field("host_ms_per_run", r.host_ms)
@@ -165,11 +162,9 @@ int main(int argc, char** argv) {
                 "sim speedup: %.2fx; outputs identical: %s\n",
                 "", host_speedup, sim_speedup, outputs_identical ? "yes" : "NO");
 
-    bench::JsonObject j;
-    j.field("bench", "serving_summary")
-        .field("platform", plat.name)
-        .field("model", w.name)
-        .field("host_speedup", host_speedup)
+    bench::JsonObject j =
+        bench::bench_row("serving_summary", plat.name, w.name, "all");
+    j.field("host_speedup", host_speedup)
         .field("sim_speedup", sim_speedup)
         .field("outputs_identical", outputs_identical);
     j.emit(jf);

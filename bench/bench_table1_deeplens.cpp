@@ -14,7 +14,7 @@ int main() {
       {"Yolov3", 1004.13, -1},
   };
   igc::bench::run_platform_table(
-      igc::sim::PlatformId::kDeepLens,
+      igc::sim::PlatformId::kDeepLens, "table1_deeplens",
       "Table 1: AWS DeepLens (Intel HD Graphics 505), ours vs OpenVINO",
       "OpenVINO", paper);
   return 0;

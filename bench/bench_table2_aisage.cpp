@@ -14,7 +14,7 @@ int main() {
       {"Yolov3", 1097.47, 1042.90},
   };
   igc::bench::run_platform_table(
-      igc::sim::PlatformId::kAiSage,
+      igc::sim::PlatformId::kAiSage, "table2_aisage",
       "Table 2: Acer aiSage (ARM Mali T-860), ours vs ACL", "ACL", paper);
   return 0;
 }

@@ -13,7 +13,7 @@ int main() {
       {"Yolov3", 553.79, 802.41},
   };
   igc::bench::run_platform_table(
-      igc::sim::PlatformId::kJetsonNano,
+      igc::sim::PlatformId::kJetsonNano, "table3_nano",
       "Table 3: Nvidia Jetson Nano (Maxwell), ours vs cuDNN/MXNet", "cuDNN",
       paper);
   return 0;

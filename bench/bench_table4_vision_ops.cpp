@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "graph/executor.h"
 #include "graph/passes.h"
 #include "graphtune/graph_tuner.h"
@@ -86,6 +87,15 @@ int main() {
                   platform.name.c_str(), m.name.c_str(), before, after,
                   before / after, p.before_ms, p.after_ms,
                   p.before_ms / p.after_ms);
+
+      bench::JsonObject j =
+          bench::bench_row("table4_vision_ops", platform.name, m.name);
+      j.field("before_ms", before)
+          .field("after_ms", after)
+          .field("speedup", before / after)
+          .field("paper_before_ms", p.before_ms)
+          .field("paper_after_ms", p.after_ms);
+      j.emit();
     }
   }
   return 0;

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "baselines/vendor.h"
 #include "graph/executor.h"
 #include "graph/passes.h"
@@ -92,8 +93,10 @@ inline void print_table(const std::string& title, const std::string& vendor,
   }
 }
 
-/// Runs one full platform table (used by bench_table1/2/3).
-inline void run_platform_table(sim::PlatformId id, const std::string& title,
+/// Runs one full platform table (used by bench_table1/2/3). `bench` is the
+/// slug stamped into each row's JSON line (e.g. "table1_deeplens").
+inline void run_platform_table(sim::PlatformId id, const std::string& bench,
+                               const std::string& title,
                                const std::string& vendor,
                                const std::vector<PaperRow>& paper) {
   const sim::Platform& platform = sim::platform(id);
@@ -107,6 +110,20 @@ inline void run_platform_table(sim::PlatformId id, const std::string& title,
   }
   print_table(title, vendor, rows, paper);
   std::printf("(tuning database: %zu workload entries)\n", db.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const MeasuredRow& r = rows[i];
+    JsonObject j = bench_row(bench, platform.name, r.model);
+    j.field("vendor", vendor)
+        .field("ours_ms", r.ours_ms)
+        .field("vendor_supported", r.vendor_supported);
+    if (r.vendor_supported) {
+      j.field("vendor_ms", r.vendor_ms)
+          .field("speedup", r.vendor_ms / r.ours_ms);
+    }
+    j.field("paper_ours_ms", paper[i].ours_ms);
+    if (paper[i].vendor_ms > 0) j.field("paper_vendor_ms", paper[i].vendor_ms);
+    j.emit();
+  }
 }
 
 }  // namespace igc::bench

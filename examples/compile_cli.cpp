@@ -3,17 +3,26 @@
 //
 //   compile_cli <model> <device> [--trials N] [--fallback-nms]
 //               [--dump-graph] [--dump-kernels] [--save-db PATH]
-//               [--load-db PATH] [--untuned]
+//               [--load-db PATH] [--untuned] [--wavefront] [--arena]
+//               [--trace PATH] [--report] [--metrics PATH]
 //
-//   model:  resnet50 | mobilenet | squeezenet | ssd_mobilenet | ssd_resnet50
-//           | yolov3 | fcn
+//   model:  resnet50 | inception | mobilenet | squeezenet | ssd_mobilenet
+//           | ssd_resnet50 | yolov3 | fcn
 //   device: aws-deeplens | acer-aisage | jetson-nano
+//
+// Observability: --trace writes a Chrome trace-event JSON of the inference
+// (open in chrome://tracing or https://ui.perfetto.dev — one track per
+// simulated lane plus the host scheduler threads), --report prints the
+// per-layer breakdown derived from the same trace, and --metrics writes a
+// JSON snapshot of the process-wide metrics registry.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "core/compiler.h"
 #include "models/models.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/device_spec.h"
 #include "tune/tunedb.h"
 
@@ -22,6 +31,7 @@ namespace {
 igc::models::Model build_by_name(const std::string& name, igc::Rng& rng) {
   using namespace igc::models;  // NOLINT
   if (name == "resnet50") return build_resnet50(rng);
+  if (name == "inception") return build_inception_v1(rng);
   if (name == "mobilenet") return build_mobilenet(rng);
   if (name == "squeezenet") return build_squeezenet(rng);
   if (name == "ssd_mobilenet") return build_ssd(rng, SsdBackbone::kMobileNet, 512);
@@ -40,7 +50,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <model> <device> [--trials N] [--fallback-nms] "
                  "[--dump-graph] [--dump-kernels] [--save-db PATH] "
-                 "[--load-db PATH] [--untuned]\n",
+                 "[--load-db PATH] [--untuned] [--wavefront] [--arena] "
+                 "[--trace PATH] [--report] [--metrics PATH]\n",
                  argv[0]);
     return 2;
   }
@@ -49,7 +60,8 @@ int main(int argc, char** argv) {
 
   CompileOptions opts;
   bool dump_graph = false, dump_kernels = false;
-  std::string save_db, load_db;
+  bool wavefront = false, arena = false, report = false;
+  std::string save_db, load_db, trace_path, metrics_path;
   for (int i = 3; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--trials") && i + 1 < argc) {
       opts.tune_trials = std::atoi(argv[++i]);
@@ -67,6 +79,16 @@ int main(int argc, char** argv) {
       load_db = argv[++i];
     } else if (!std::strcmp(argv[i], "--untuned")) {
       opts.skip_tuning = true;
+    } else if (!std::strcmp(argv[i], "--wavefront")) {
+      wavefront = true;
+    } else if (!std::strcmp(argv[i], "--arena")) {
+      arena = true;
+    } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--report")) {
+      report = true;
+    } else if (!std::strcmp(argv[i], "--metrics") && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
       return 2;
@@ -92,15 +114,47 @@ int main(int argc, char** argv) {
 
   const bool big_model = model_name.rfind("ssd", 0) == 0 ||
                          model_name == "yolov3" || model_name == "fcn";
-  const RunResult r = cm.run(1, /*compute_numerics=*/!big_model);
-  std::printf("  latency %.2f ms (conv %.2f, vision %.2f, copies %.3f, other "
-              "%.2f)\n",
-              r.latency_ms, r.conv_ms, r.vision_ms, r.copy_ms, r.other_ms);
+  obs::TraceRecorder recorder;
+  RunOptions ropts;
+  ropts.input_seed = 1;
+  ropts.compute_numerics = !big_model;
+  ropts.mode = wavefront ? graph::ExecMode::kWavefront
+                         : graph::ExecMode::kSequential;
+  ropts.use_arena = arena;
+  if (!trace_path.empty() || report) ropts.trace = &recorder;
+  const RunResult r = cm.run(ropts);
+  std::printf("  latency %.2f ms [%s%s] (conv %.2f, vision %.2f, copies %.3f, "
+              "fallback %.2f, other %.2f)\n",
+              r.latency_ms, wavefront ? "wavefront" : "sequential",
+              arena ? ", arena" : "", r.conv_ms, r.vision_ms, r.copy_ms,
+              r.fallback_ms, r.other_ms);
   const auto plan = cm.memory_plan();
   std::printf("  activation memory: %.2f MB planned (%.2f MB unshared)\n",
               static_cast<double>(plan.total_bytes()) / 1e6,
               static_cast<double>(plan.unshared_bytes) / 1e6);
 
+  if (!trace_path.empty()) {
+    if (!recorder.save_chrome_trace(trace_path)) {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace spans to %s (open in chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                recorder.spans().size(), trace_path.c_str());
+  }
+  if (report) std::printf("\n%s", recorder.report().c_str());
+  if (!metrics_path.empty()) {
+    const std::string doc = obs::MetricsRegistry::global().snapshot_json();
+    std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+    if (f == nullptr ||
+        std::fwrite(doc.data(), 1, doc.size(), f) != doc.size() ||
+        std::fclose(f) != 0) {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    std::printf("wrote metrics snapshot to %s\n", metrics_path.c_str());
+  }
   if (!save_db.empty()) {
     cm.tune_db().save(save_db);
     std::printf("saved %zu tuning records to %s\n", cm.tune_db().size(),

@@ -35,6 +35,16 @@ RunResult CompiledModel::run(const RunOptions& opts) const {
   eopts.conv_layout_block = layouts_;
   eopts.mode = opts.mode;
   eopts.use_arena = opts.use_arena;
+  eopts.trace = opts.trace;
+  if (opts.trace != nullptr) {
+    obs::TraceMeta meta;
+    meta.model = name_;
+    meta.platform = platform_->name;
+    meta.mode =
+        opts.mode == graph::ExecMode::kWavefront ? "wavefront" : "sequential";
+    meta.arena = opts.use_arena;
+    opts.trace->begin(std::move(meta));
+  }
 
   std::unique_lock<std::mutex> serving_lock;
   if (opts.use_arena) {
@@ -60,6 +70,7 @@ RunResult CompiledModel::run(const RunOptions& opts) const {
   out.conv_ms = r.conv_ms;
   out.vision_ms = r.vision_ms;
   out.copy_ms = r.copy_ms;
+  out.fallback_ms = r.fallback_ms;
   out.other_ms = r.other_ms;
   out.peak_intermediate_bytes = r.peak_intermediate_bytes;
   out.arena_bytes = r.arena_bytes;

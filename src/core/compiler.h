@@ -57,6 +57,11 @@ struct RunOptions {
   /// heap allocations (steady-state serving). Arena runs on one model are
   /// serialized internally.
   bool use_arena = false;
+  /// When set, the run starts a fresh trace on this recorder (model /
+  /// platform / mode metadata) and records one span per executed node.
+  /// Tracing never changes outputs. The recorder must outlive the call;
+  /// concurrent runs must not share one.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 struct RunResult {
@@ -68,6 +73,7 @@ struct RunResult {
   double conv_ms = 0.0;
   double vision_ms = 0.0;
   double copy_ms = 0.0;
+  double fallback_ms = 0.0;
   double other_ms = 0.0;
   /// High-water mark of live intermediate bytes during the run.
   int64_t peak_intermediate_bytes = 0;

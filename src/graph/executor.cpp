@@ -1,13 +1,17 @@
 #include "graph/executor.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <functional>
 #include <optional>
+#include <thread>
 
 #include "core/error.h"
 #include "core/thread_pool.h"
+#include "obs/metrics.h"
 #include "ops/nn/conv2d.h"
 #include "ops/nn/nn_ops.h"
 #include "ops/vision/nms.h"
@@ -39,14 +43,22 @@ struct NodeCtx {
   sim::SimClock clock;
   sim::GpuSimulator gpu;
   Rng rng;
+  std::string schedule;  // conv ScheduleConfig str, captured on traced runs
   NodeCtx(const sim::DeviceSpec& dev, uint64_t seed)
       : gpu(dev, clock), rng(seed) {}
 };
 
-/// The simulated cost and trace of one node, merged after dispatch.
+/// The simulated cost and trace of one node, merged after dispatch. The
+/// host_* fields are only filled on traced runs: they are written by the
+/// thread that executed the node (into its private NodeRun slot) and read in
+/// the single-threaded post-run merge.
 struct NodeRun {
   double ms = 0.0;
   std::vector<sim::ClockEvent> events;
+  double host_start_us = 0.0;  // wall clock relative to the run epoch
+  double host_end_us = 0.0;
+  uint64_t host_thread = 0;    // hashed std::thread::id
+  std::string schedule;        // chosen conv ScheduleConfig (traced runs)
 };
 
 /// Synthetic detection-head tensors for shapes-only execution. Scores follow
@@ -129,6 +141,8 @@ class ExecutorImpl {
 
   ExecResult run() {
     g_.validate();
+    validate_options();
+    if (opts_.trace != nullptr) run_epoch_ = std::chrono::steady_clock::now();
     const size_t n_nodes = static_cast<size_t>(g_.num_nodes());
     values_.resize(n_nodes);
     layout_block_.assign(n_nodes, 1);
@@ -166,6 +180,32 @@ class ExecutorImpl {
 
  private:
   bool live(int id) const { return live_[static_cast<size_t>(id)]; }
+
+  /// Arena invariants, checked up front so misuse fails with a clear
+  /// igc::Error instead of a deep assertion: use_arena takes the
+  /// caller-provided (arena, plan) pair together or not at all, and a
+  /// provided plan must have been computed from this graph.
+  void validate_options() const {
+    if (!opts_.use_arena) return;
+    IGC_CHECK(!(opts_.arena != nullptr && opts_.plan == nullptr))
+        << "ExecOptions: use_arena with an arena but no plan — pass the "
+           "MemoryPlan the arena was sized from (or neither, for a private "
+           "per-run arena)";
+    IGC_CHECK(!(opts_.arena == nullptr && opts_.plan != nullptr))
+        << "ExecOptions: use_arena with a plan but no arena — pass the "
+           "BufferArena sized from the plan (or neither, for a private "
+           "per-run arena)";
+    if (opts_.plan != nullptr) {
+      IGC_CHECK_EQ(static_cast<int>(opts_.plan->buffer_of_node.size()),
+                   g_.num_nodes())
+          << "ExecOptions: the provided MemoryPlan was computed for a "
+             "different graph (node count mismatch)";
+      IGC_CHECK_EQ(opts_.arena->num_buffers(),
+                   static_cast<int>(opts_.plan->buffer_bytes.size()))
+          << "ExecOptions: the provided BufferArena was not sized from the "
+             "provided MemoryPlan (buffer count mismatch)";
+    }
+  }
 
   void compute_liveness() {
     live_.assign(static_cast<size_t>(g_.num_nodes()), false);
@@ -233,16 +273,30 @@ class ExecutorImpl {
     }
 
     TaskGroup group(ThreadPool::scheduler());
+    // Ready-queue depth: tasks spawned (dependencies resolved) but not yet
+    // finished. The peak is a host-scheduling observable, not part of the
+    // deterministic time model, so it lives in the metrics registry only.
+    std::atomic<int> ready_depth{0};
+    std::atomic<int> ready_peak{0};
+    auto note_spawn = [&] {
+      const int d = ready_depth.fetch_add(1, std::memory_order_relaxed) + 1;
+      int peak = ready_peak.load(std::memory_order_relaxed);
+      while (d > peak && !ready_peak.compare_exchange_weak(
+                             peak, d, std::memory_order_relaxed)) {
+      }
+    };
     // Spawns are only issued while holding sched_mu_ (or before any task
     // runs), and group.wait() joins every task before the locals above go out
     // of scope, so the reference captures below are safe.
     std::function<void(int)> spawn = [&](int id) {
-      group.run([this, &group, &succ, &indeg, &spawn, id] {
+      note_spawn();
+      group.run([this, &group, &succ, &indeg, &spawn, &ready_depth, id] {
         const Node& n = g_.node(id);
         NodeRun r = exec_one(n);
         std::lock_guard<std::mutex> lock(sched_mu_);
         node_runs_[static_cast<size_t>(id)] = std::move(r);
         on_node_done(n);
+        ready_depth.fetch_sub(1, std::memory_order_relaxed);
         if (group.failed()) return;  // stop fanning out after an error
         for (int s : succ[static_cast<size_t>(id)]) {
           if (--indeg[static_cast<size_t>(s)] == 0) spawn(s);
@@ -253,6 +307,9 @@ class ExecutorImpl {
     // would race with finishing tasks and could spawn a node twice.
     for (int id : roots) spawn(id);
     group.wait();
+    obs::MetricsRegistry::global()
+        .gauge("sched.ready_queue_peak")
+        .update_max(ready_peak.load(std::memory_order_relaxed));
   }
 
   /// Anti-dependency edges derived from the memory plan. The planner assigns
@@ -285,12 +342,29 @@ class ExecutorImpl {
   }
 
   NodeRun exec_one(const Node& n) {
-    NodeCtx cx(platform_.gpu, base_seed_ ^ hash_name(n.name));
-    exec_node(cx, n);
+    const bool traced = opts_.trace != nullptr;
     NodeRun r;
+    if (traced) {
+      r.host_start_us = host_us_since_epoch();
+      r.host_thread =
+          std::hash<std::thread::id>{}(std::this_thread::get_id());
+    }
+    NodeCtx cx(platform_.gpu, base_seed_ ^ hash_name(n.name));
+    cx.clock.set_tags(lane_of(n), categorize(n.kind, n.place));
+    exec_node(cx, n);
     r.ms = cx.clock.total_ms();
     r.events = cx.clock.events();
+    if (traced) {
+      r.schedule = std::move(cx.schedule);
+      r.host_end_us = host_us_since_epoch();
+    }
     return r;
+  }
+
+  double host_us_since_epoch() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - run_epoch_)
+        .count();
   }
 
   /// Post-execution bookkeeping for one node: peak-memory accounting and
@@ -335,7 +409,9 @@ class ExecutorImpl {
     // Simulated time, merged deterministically from the per-node charges in
     // topological id order: the serial sum models the sequential executor's
     // single in-order queue; the lane schedule models the wavefront executor
-    // (per-device engines running independent nodes concurrently).
+    // (per-device engines running independent nodes concurrently). Trace
+    // spans are recorded here, from the same deterministic merge — never
+    // from concurrently running node tasks.
     double serial = 0.0;
     sim::LaneSchedule lanes;
     std::vector<double> finish(static_cast<size_t>(g_.num_nodes()), 0.0);
@@ -343,17 +419,19 @@ class ExecutorImpl {
       if (!live(n.id)) continue;
       const NodeRun& r = node_runs_[static_cast<size_t>(n.id)];
       serial += r.ms;
-      attribute(n.kind, r.ms, result);
+      attribute(n, r.ms, result);
       double ready = 0.0;
       for (int in : n.inputs) {
         ready = std::max(ready, finish[static_cast<size_t>(in)]);
       }
-      finish[static_cast<size_t>(n.id)] =
-          lanes.schedule(lane_of(n), ready, r.ms);
+      const double end = lanes.schedule(lane_of(n), ready, r.ms);
+      finish[static_cast<size_t>(n.id)] = end;
+      if (opts_.trace != nullptr) record_span(n, r, end);
       result.events.insert(result.events.end(), r.events.begin(),
                            r.events.end());
     }
     result.serial_ms = serial;
+    record_metrics(result);
     result.critical_path_ms = finish[static_cast<size_t>(g_.output())];
     result.latency_ms = opts_.mode == ExecMode::kWavefront
                             ? result.critical_path_ms
@@ -373,28 +451,78 @@ class ExecutorImpl {
     return result;
   }
 
+  /// One trace span for node `n`: the simulated lane window ending at `end`
+  /// plus everything captured while the node ran.
+  void record_span(const Node& n, const NodeRun& r, double end) {
+    obs::TraceSpan s;
+    s.name = n.name;
+    s.op = std::string(op_kind_name(n.kind));
+    s.category = categorize(n.kind, n.place);
+    s.lane = lane_of(n);
+    s.sim_start_ms = end - r.ms;
+    s.sim_end_ms = end;
+    s.host_start_us = r.host_start_us;
+    s.host_end_us = r.host_end_us;
+    s.host_thread = r.host_thread;
+    s.shape = n.out_shape.str();
+    s.layout_block = layout_block_[static_cast<size_t>(n.id)];
+    for (const sim::ClockEvent& e : r.events) s.bytes += e.bytes;
+    s.schedule = r.schedule;
+    opts_.trace->record(std::move(s));
+  }
+
+  /// Batch-updates the process-wide registry from the merged run. Instrument
+  /// references are resolved once per process; everything recorded here is a
+  /// deterministic function of the graph and options, so repeated identical
+  /// runs produce identical metric deltas.
+  void record_metrics(const ExecResult& result) {
+    auto& m = obs::MetricsRegistry::global();
+    static auto& runs = m.counter("exec.runs");
+    static auto& nodes = m.counter("exec.nodes");
+    static auto& kernels = m.counter("exec.kernels_launched");
+    static auto& fallbacks = m.counter("exec.fallback_ops");
+    static auto& copies = m.counter("exec.copies");
+    static auto& copy_bytes = m.counter("exec.copy_bytes");
+    static auto& node_us = m.histogram("exec.node_us");
+    runs.add(1);
+    for (const Node& n : g_.nodes()) {
+      if (!live(n.id)) continue;
+      nodes.add(1);
+      if (categorize(n.kind, n.place) == sim::OpCategory::kFallback) {
+        fallbacks.add(1);
+      }
+      node_us.observe(static_cast<int64_t>(
+          node_runs_[static_cast<size_t>(n.id)].ms * 1000.0));
+    }
+    for (const sim::ClockEvent& e : result.events) {
+      if (e.lane == sim::Lane::kGpu) kernels.add(1);
+      if (e.category == sim::OpCategory::kCopy) {
+        copies.add(1);
+        copy_bytes.add(e.bytes);
+      }
+    }
+  }
+
   static sim::Lane lane_of(const Node& n) {
     if (n.kind == OpKind::kDeviceCopy) return sim::Lane::kCopy;
     return n.place == Place::kCpu ? sim::Lane::kCpu : sim::Lane::kGpu;
   }
 
-  static void attribute(OpKind kind, double ms, ExecResult& r) {
-    switch (kind) {
-      case OpKind::kConv2d:
+  static void attribute(const Node& n, double ms, ExecResult& r) {
+    switch (categorize(n.kind, n.place)) {
+      case sim::OpCategory::kConv:
         r.conv_ms += ms;
         break;
-      case OpKind::kMultiboxDetection:
-      case OpKind::kSsdDetection:
-      case OpKind::kYoloDecode:
-      case OpKind::kBoxNms:
-      case OpKind::kRoiAlign:
-      case OpKind::kDetectionConcat:
+      case sim::OpCategory::kVision:
         r.vision_ms += ms;
         break;
-      case OpKind::kDeviceCopy:
+      case sim::OpCategory::kCopy:
         r.copy_ms += ms;
         break;
-      default:
+      case sim::OpCategory::kFallback:
+        r.fallback_ms += ms;
+        break;
+      case sim::OpCategory::kOther:
         r.other_ms += ms;
         break;
     }
@@ -809,6 +937,7 @@ class ExecutorImpl {
                 c.set("layout_block", block);
                 return c;
               }();
+    if (opts_.trace != nullptr) cx.schedule = cfg.str();
     if (n.place == Place::kCpu) {
       cx.clock.charge_fixed(sim::cpu_latency_ms(platform_.cpu, n.conv.flops(),
                                                 n.conv.min_bytes(), 0.9),
@@ -1030,9 +1159,32 @@ class ExecutorImpl {
   std::mutex sched_mu_;
   int64_t heap_in_use_ = 0;
   int64_t peak_bytes_ = 0;
+
+  /// Host wall-clock reference for trace dispatch times (traced runs only).
+  std::chrono::steady_clock::time_point run_epoch_{};
 };
 
 }  // namespace
+
+sim::OpCategory categorize(OpKind kind, Place place) {
+  if (kind == OpKind::kDeviceCopy) return sim::OpCategory::kCopy;
+  if (place == Place::kCpu && kind != OpKind::kInput) {
+    return sim::OpCategory::kFallback;
+  }
+  switch (kind) {
+    case OpKind::kConv2d:
+      return sim::OpCategory::kConv;
+    case OpKind::kMultiboxDetection:
+    case OpKind::kSsdDetection:
+    case OpKind::kYoloDecode:
+    case OpKind::kBoxNms:
+    case OpKind::kRoiAlign:
+    case OpKind::kDetectionConcat:
+      return sim::OpCategory::kVision;
+    default:
+      return sim::OpCategory::kOther;
+  }
+}
 
 ExecResult execute(const Graph& g, const sim::Platform& platform,
                    const ExecOptions& opts, Rng& input_rng) {

@@ -41,12 +41,19 @@
 #include "core/rng.h"
 #include "graph/graph.h"
 #include "graph/memory_planner.h"
+#include "obs/trace.h"
 #include "sim/clock.h"
 #include "sim/device_spec.h"
 #include "tensor/arena.h"
 #include "tune/tunedb.h"
 
 namespace igc::graph {
+
+/// The one categorization rule behind every breakdown: ExecResult's
+/// per-category fields, ClockEvent tags, and trace spans all derive from it.
+/// A CPU-placed operator (other than the copies around it) is a fallback op
+/// (Sec. 3.1.2) whatever its kind.
+sim::OpCategory categorize(OpKind kind, Place place);
 
 enum class ExecMode { kSequential, kWavefront };
 
@@ -68,9 +75,17 @@ struct ExecOptions {
   /// across runs.
   bool use_arena = false;
   /// Persistent arena and the memory plan it was sized from. Both or
-  /// neither; ignored unless use_arena. Concurrent runs must not share one.
+  /// neither (validated at execute() entry); ignored unless use_arena.
+  /// Concurrent runs must not share one.
   BufferArena* arena = nullptr;
   const MemoryPlan* plan = nullptr;
+
+  /// When set, one TraceSpan per executed node is appended to this recorder
+  /// (simulated lane windows, host dispatch times, category, shapes, bytes,
+  /// chosen conv schedule). Spans are recorded in the deterministic post-run
+  /// merge, so tracing never perturbs outputs or wavefront scheduling. The
+  /// recorder must outlive the run; concurrent runs must not share one.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 struct ExecResult {
@@ -83,11 +98,13 @@ struct ExecResult {
   /// Per-lane critical-path makespan (== kWavefront latency). Also filled
   /// in sequential runs, so one run reports both time models.
   double critical_path_ms = 0.0;
-  /// Per-category breakdown (conv / vision / copies / everything else) of
-  /// the serial sum.
+  /// Per-category breakdown of the serial sum, attributed by categorize():
+  /// conv / vision / copies / CPU-fallback ops / everything else. The five
+  /// fields sum to serial_ms.
   double conv_ms = 0.0;
   double vision_ms = 0.0;
   double copy_ms = 0.0;
+  double fallback_ms = 0.0;
   double other_ms = 0.0;
   /// High-water mark of live node-output bytes (arena + heap) during the
   /// run. With an arena this is bounded by MemoryPlan::total_bytes().

@@ -1,0 +1,296 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "core/error.h"
+
+namespace igc::obs::json {
+
+bool Value::as_bool() const {
+  IGC_CHECK(is_bool()) << "JSON value is not a bool";
+  return bool_;
+}
+
+double Value::as_number() const {
+  IGC_CHECK(is_number()) << "JSON value is not a number";
+  return num_;
+}
+
+int64_t Value::as_int() const { return static_cast<int64_t>(as_number()); }
+
+const std::string& Value::as_string() const {
+  IGC_CHECK(is_string()) << "JSON value is not a string";
+  return str_;
+}
+
+const std::vector<Value>& Value::as_array() const {
+  IGC_CHECK(is_array()) << "JSON value is not an array";
+  return arr_;
+}
+
+const std::map<std::string, Value>& Value::as_object() const {
+  IGC_CHECK(is_object()) << "JSON value is not an object";
+  return obj_;
+}
+
+bool Value::has(const std::string& key) const {
+  return is_object() && obj_.count(key) > 0;
+}
+
+const Value& Value::at(const std::string& key) const {
+  const auto& o = as_object();
+  auto it = o.find(key);
+  IGC_CHECK(it != o.end()) << "JSON object has no key '" << key << "'";
+  return it->second;
+}
+
+const Value& Value::at(size_t index) const {
+  const auto& a = as_array();
+  IGC_CHECK_LT(index, a.size()) << "JSON array index out of range";
+  return a[index];
+}
+
+size_t Value::size() const {
+  if (is_array()) return arr_.size();
+  if (is_object()) return obj_.size();
+  IGC_CHECK(false) << "JSON size() on a scalar";
+  return 0;
+}
+
+Value Value::make_bool(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+Value Value::make_number(double n) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = n;
+  return v;
+}
+Value Value::make_string(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+Value Value::make_array(std::vector<Value> a) {
+  Value v;
+  v.kind_ = Kind::kArray;
+  v.arr_ = std::move(a);
+  return v;
+}
+Value Value::make_object(std::map<std::string, Value> o) {
+  Value v;
+  v.kind_ = Kind::kObject;
+  v.obj_ = std::move(o);
+  return v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    IGC_CHECK_EQ(pos_, s_.size()) << "trailing characters after JSON document";
+    return v;
+  }
+
+ private:
+  char peek() {
+    IGC_CHECK_LT(pos_, s_.size()) << "unexpected end of JSON input";
+    return s_[pos_];
+  }
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    IGC_CHECK(next() == c) << "expected '" << c << "' at offset " << (pos_ - 1);
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool consume_literal(const char* lit) {
+    size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Value::make_string(parse_string());
+      case 't':
+        IGC_CHECK(consume_literal("true")) << "bad literal at offset " << pos_;
+        return Value::make_bool(true);
+      case 'f':
+        IGC_CHECK(consume_literal("false")) << "bad literal at offset " << pos_;
+        return Value::make_bool(false);
+      case 'n':
+        IGC_CHECK(consume_literal("null")) << "bad literal at offset " << pos_;
+        return Value::make_null();
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    std::map<std::string, Value> o;
+    skip_ws();
+    if (peek() == '}') {
+      next();
+      return Value::make_object(std::move(o));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      o.emplace(std::move(key), parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      IGC_CHECK(c == ',') << "expected ',' or '}' at offset " << (pos_ - 1);
+    }
+    return Value::make_object(std::move(o));
+  }
+
+  Value parse_array() {
+    expect('[');
+    std::vector<Value> a;
+    skip_ws();
+    if (peek() == ']') {
+      next();
+      return Value::make_array(std::move(a));
+    }
+    while (true) {
+      a.push_back(parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      IGC_CHECK(c == ',') << "expected ',' or ']' at offset " << (pos_ - 1);
+    }
+    return Value::make_array(std::move(a));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') break;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char e = next();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = next();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              IGC_CHECK(false) << "bad \\u escape at offset " << pos_;
+            }
+          }
+          // UTF-8 encode (the exporters only emit BMP code points).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          IGC_CHECK(false) << "bad escape '\\" << e << "' at offset " << pos_;
+      }
+    }
+    return out;
+  }
+
+  Value parse_number() {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    IGC_CHECK_GT(pos_, start) << "expected a JSON value at offset " << start;
+    char* end = nullptr;
+    const std::string tok = s_.substr(start, pos_ - start);
+    const double v = std::strtod(tok.c_str(), &end);
+    IGC_CHECK(end != nullptr && *end == '\0')
+        << "malformed number '" << tok << "' at offset " << start;
+    return Value::make_number(v);
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(const std::string& text) { return Parser(text).parse_document(); }
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace igc::obs::json

@@ -1,0 +1,68 @@
+// Minimal JSON value model and recursive-descent parser.
+//
+// Exists so the observability exports (Chrome traces, metrics snapshots,
+// BENCH_*.json lines) can be round-tripped and validated inside this repo's
+// own tests without an external JSON dependency. Supports the full JSON
+// grammar the exporters emit: objects, arrays, strings (with \uXXXX escapes
+// decoded to UTF-8), finite numbers, booleans, and null.
+//
+// Parsing failures raise igc::Error with the byte offset of the problem.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace igc::obs::json {
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; IGC_CHECK-fail on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  int64_t as_int() const;
+  const std::string& as_string() const;
+  const std::vector<Value>& as_array() const;
+  const std::map<std::string, Value>& as_object() const;
+
+  /// Object member access; `at` fails when missing, `has` probes.
+  bool has(const std::string& key) const;
+  const Value& at(const std::string& key) const;
+  /// Array element access with bounds check.
+  const Value& at(size_t index) const;
+  size_t size() const;
+
+  static Value make_null() { return Value(); }
+  static Value make_bool(bool b);
+  static Value make_number(double n);
+  static Value make_string(std::string s);
+  static Value make_array(std::vector<Value> a);
+  static Value make_object(std::map<std::string, Value> o);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::map<std::string, Value> obj_;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+Value parse(const std::string& text);
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes added).
+std::string escape(const std::string& s);
+
+}  // namespace igc::obs::json

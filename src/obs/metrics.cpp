@@ -1,0 +1,121 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace igc::obs {
+namespace {
+
+void append_kv(std::string& out, const std::string& key, int64_t value,
+               bool& first) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  out += first ? "" : ", ";
+  first = false;
+  out += '"';
+  out += key;  // instrument names are plain identifiers, no escaping needed
+  out += "\": ";
+  out += buf;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* r = new MetricsRegistry();
+  return *r;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::Hist hs;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (h->bucket(i) != 0) hs.buckets.emplace_back(i, h->bucket(i));
+    }
+    s.histograms[name] = std::move(hs);
+  }
+  return s;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsSnapshot MetricsSnapshot::delta_to(const MetricsSnapshot& later) const {
+  MetricsSnapshot d;
+  for (const auto& [name, v] : later.counters) {
+    auto it = counters.find(name);
+    d.counters[name] = v - (it == counters.end() ? 0 : it->second);
+  }
+  d.gauges = later.gauges;
+  for (const auto& [name, h] : later.histograms) {
+    Hist dh;
+    auto it = histograms.find(name);
+    const Hist* base = it == histograms.end() ? nullptr : &it->second;
+    dh.count = h.count - (base ? base->count : 0);
+    dh.sum = h.sum - (base ? base->sum : 0);
+    std::map<int, int64_t> buckets(h.buckets.begin(), h.buckets.end());
+    if (base != nullptr) {
+      for (const auto& [i, n] : base->buckets) buckets[i] -= n;
+    }
+    for (const auto& [i, n] : buckets) {
+      if (n != 0) dh.buckets.emplace_back(i, n);
+    }
+    d.histograms[name] = std::move(dh);
+  }
+  return d;
+}
+
+std::string MetricsSnapshot::json() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, v] : counters) append_kv(out, name, v, first);
+  for (const auto& [name, v] : gauges) append_kv(out, name, v, first);
+  for (const auto& [name, h] : histograms) {
+    out += first ? "" : ", ";
+    first = false;
+    out += '"' + name + "\": {";
+    bool hf = true;
+    append_kv(out, "count", h.count, hf);
+    append_kv(out, "sum", h.sum, hf);
+    out += ", \"buckets\": {";
+    bool bf = true;
+    for (const auto& [i, n] : h.buckets) {
+      append_kv(out, "p2_" + std::to_string(i), n, bf);
+    }
+    out += "}}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace igc::obs

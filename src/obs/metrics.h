@@ -1,0 +1,133 @@
+// Process-wide metrics registry: named counters, gauges, and histograms
+// shared by every subsystem (executor, arena, tuner, scheduler).
+//
+// Instruments are registered on first use and live for the process lifetime,
+// so hot paths can cache a reference once and then touch a single relaxed
+// atomic per update — no locks, no allocation, and no effect on wavefront
+// determinism. reset() zeroes values but never invalidates references.
+//
+// This header is deliberately dependency-free (std only) so that low layers
+// (tensor, tune) can record metrics without depending on graph/sim types.
+//
+// Conventions:
+//   * counters are monotone event counts ("arena.acquires", "exec.copies");
+//   * gauges record last-set or high-water values ("arena.high_water_bytes");
+//   * histograms bucket int64 samples by power of two ("exec.node_us").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace igc::obs {
+
+class Counter {
+ public:
+  void add(int64_t delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if larger (high-water-mark semantics).
+  void update_max(int64_t v) {
+    int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Fixed power-of-two-bucket histogram of non-negative int64 samples.
+/// Bucket i counts samples with bit_width(value) == i (bucket 0: value 0).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void observe(int64_t v) {
+    if (v < 0) v = 0;
+    int b = 0;
+    for (uint64_t u = static_cast<uint64_t>(v); u != 0; u >>= 1) ++b;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> buckets_[kBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// Point-in-time copy of every instrument's value, comparable with ==.
+/// Deltas between snapshots taken around a run isolate that run's activity.
+struct MetricsSnapshot {
+  struct Hist {
+    int64_t count = 0;
+    int64_t sum = 0;
+    std::vector<std::pair<int, int64_t>> buckets;  // non-empty buckets only
+    bool operator==(const Hist&) const = default;
+  };
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, Hist> histograms;
+
+  /// Counter and histogram deltas of `later` relative to this snapshot;
+  /// gauges carry `later`'s value (deltas are meaningless for gauges).
+  MetricsSnapshot delta_to(const MetricsSnapshot& later) const;
+  bool operator==(const MetricsSnapshot&) const = default;
+
+  /// Flat JSON object: {"counter.name": 1, ..., "hist.name": {...}}.
+  std::string json() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry.
+  static MetricsRegistry& global();
+
+  /// Returns the named instrument, creating it on first use. The reference
+  /// stays valid for the registry's lifetime; hot paths should cache it.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+  std::string snapshot_json() const { return snapshot().json(); }
+
+  /// Zeroes every instrument (references stay valid). Test support.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;  // guards the maps, not the instruments
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace igc::obs

@@ -1,0 +1,98 @@
+// Execution tracing for the heterogeneous executor.
+//
+// A TraceRecorder collects one TraceSpan per executed graph node: its
+// simulated start/end on its device lane (from the wavefront LaneSchedule;
+// in sequential mode the same schedule is synthesized, so both dispatch
+// modes trace identically), the host wall-clock window in which the node was
+// actually dispatched, its cost category, shapes/layout, bytes moved, and —
+// for convolutions — the chosen schedule config.
+//
+// The recorder is populated *after* dispatch, from the executor's
+// deterministic per-node merge: nothing on the concurrent hot path touches
+// shared recorder state, so tracing cannot perturb wavefront determinism.
+//
+// Two exporters:
+//   * chrome_trace_json() — the Chrome trace-event format (load the file in
+//     chrome://tracing or https://ui.perfetto.dev): one track per simulated
+//     lane (GPU queue / companion CPU / copy engine) plus one track per host
+//     scheduler thread;
+//   * report() — the paper's per-layer breakdown tables reproduced from the
+//     trace: category rollup, per-lane utilization, and top-k ops.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace igc::obs {
+
+/// Run-level context stamped into the export header.
+struct TraceMeta {
+  std::string model;
+  std::string platform;
+  std::string mode;  // "sequential" | "wavefront"
+  bool arena = false;
+  int schema_version = 1;
+};
+
+/// One executed graph node.
+struct TraceSpan {
+  std::string name;  // stable node name
+  std::string op;    // op kind ("conv2d", "box_nms", ...)
+  sim::OpCategory category = sim::OpCategory::kOther;
+  sim::Lane lane = sim::Lane::kGpu;
+  /// Simulated lane-schedule window (ms since run start).
+  double sim_start_ms = 0.0;
+  double sim_end_ms = 0.0;
+  /// Host wall-clock dispatch window (us since run start; 0/0 when the run
+  /// did not capture host times).
+  double host_start_us = 0.0;
+  double host_end_us = 0.0;
+  /// Opaque host-thread key (hashed std::thread::id); tracks are numbered
+  /// per distinct key at export time.
+  uint64_t host_thread = 0;
+  std::string shape;     // output shape, e.g. "(1, 64, 56, 56)"
+  int layout_block = 1;  // conv layout block (1 = NCHW)
+  int64_t bytes = 0;     // bytes moved (DRAM + copy traffic)
+  std::string schedule;  // chosen ScheduleConfig (convs on traced runs)
+};
+
+class TraceRecorder {
+ public:
+  /// Starts a new trace: stores the run metadata and drops prior spans.
+  void begin(TraceMeta meta);
+
+  /// Appends one span. Thread-safe, but the executor only calls it from the
+  /// single-threaded post-run merge.
+  void record(TraceSpan span);
+
+  const TraceMeta& meta() const { return meta_; }
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+  /// Serial time attributed to `c` (sum of span durations).
+  double category_ms(sim::OpCategory c) const;
+  /// Finish time of the last span on `lane` (0 when the lane is idle).
+  double lane_end_ms(sim::Lane lane) const;
+  /// Finish time of the last span across all lanes — the simulated
+  /// wavefront critical path.
+  double makespan_ms() const;
+
+  /// Chrome trace-event JSON (the whole document, not one line per event).
+  std::string chrome_trace_json() const;
+  /// Writes chrome_trace_json() to `path`; returns false on I/O failure.
+  bool save_chrome_trace(const std::string& path) const;
+
+  /// Human-readable per-layer report: category rollup, lane end-times, and
+  /// the top `top_k` ops by serial time.
+  std::string report(int top_k = 12) const;
+
+ private:
+  mutable std::mutex mu_;
+  TraceMeta meta_;
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace igc::obs

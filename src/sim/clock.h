@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/device_spec.h"
@@ -17,34 +18,85 @@
 
 namespace igc::sim {
 
+/// Execution lanes of one heterogeneous platform. Work within a lane
+/// serializes (one in-order queue per device engine, as with a single
+/// OpenCL/CUDA stream); work across lanes overlaps freely.
+enum class Lane { kGpu = 0, kCpu = 1, kCopy = 2 };
+inline constexpr int kNumLanes = 3;
+
+inline std::string_view lane_name(Lane l) {
+  switch (l) {
+    case Lane::kGpu: return "gpu";
+    case Lane::kCpu: return "cpu";
+    case Lane::kCopy: return "copy";
+  }
+  return "?";
+}
+
+/// Cost category of a charge, matching the paper's breakdown tables:
+/// convolutions, vision-specific operators (Sec. 3.1), host<->device
+/// copies, operators fallen back to the companion CPU (Sec. 3.1.2), and
+/// everything else.
+enum class OpCategory { kConv = 0, kVision, kCopy, kFallback, kOther };
+inline constexpr int kNumCategories = 5;
+
+inline std::string_view category_name(OpCategory c) {
+  switch (c) {
+    case OpCategory::kConv: return "conv";
+    case OpCategory::kVision: return "vision";
+    case OpCategory::kCopy: return "copy";
+    case OpCategory::kFallback: return "fallback";
+    case OpCategory::kOther: return "other";
+  }
+  return "?";
+}
+
 struct ClockEvent {
   std::string name;
   double ms = 0.0;
+  /// Lane the charge serializes on, the owning node's cost category, and the
+  /// bytes the charge moves (DRAM traffic for kernels, transfer size for
+  /// copies). Default-initialized, so `{name, ms}` construction keeps
+  /// working for callers that predate these fields.
+  Lane lane = Lane::kGpu;
+  OpCategory category = OpCategory::kOther;
+  int64_t bytes = 0;
 };
 
 class SimClock {
  public:
+  /// Tags stamped onto subsequent events: the lane/category of the node
+  /// whose charges this clock is recording. Per-node clocks set them once
+  /// before dispatching the node, so sub-charges (layout transforms, the
+  /// GPU simulator's launches) inherit the node's attribution.
+  void set_tags(Lane lane, OpCategory category) {
+    lane_ = lane;
+    category_ = category;
+  }
+
   /// Charges the latency of `k` on `dev` and records a trace event.
   double charge(const DeviceSpec& dev, const KernelLaunch& k) {
     const double ms = estimate_latency_ms(dev, k);
     total_ms_ += ms;
-    events_.push_back({k.name, ms});
+    events_.push_back(
+        {k.name, ms, lane_, category_, k.dram_read_bytes + k.dram_write_bytes});
     return ms;
   }
 
-  /// Charges a host<->device copy.
+  /// Charges a host<->device copy. Copies always serialize on the copy
+  /// engine and count toward the copy category, whatever the current tags.
   double charge_copy(const DeviceSpec& dev, int64_t bytes,
                      const std::string& name = "device_copy") {
     const double ms = copy_latency_ms(dev, bytes);
     total_ms_ += ms;
-    events_.push_back({name, ms});
+    events_.push_back({name, ms, Lane::kCopy, OpCategory::kCopy, bytes});
     return ms;
   }
 
   /// Charges a fixed amount (used by CPU-side sequential sections).
   void charge_fixed(double ms, const std::string& name) {
     total_ms_ += ms;
-    events_.push_back({name, ms});
+    events_.push_back({name, ms, lane_, category_, 0});
   }
 
   double total_ms() const { return total_ms_; }
@@ -56,14 +108,10 @@ class SimClock {
 
  private:
   double total_ms_ = 0.0;
+  Lane lane_ = Lane::kGpu;
+  OpCategory category_ = OpCategory::kOther;
   std::vector<ClockEvent> events_;
 };
-
-/// Execution lanes of one heterogeneous platform. Work within a lane
-/// serializes (one in-order queue per device engine, as with a single
-/// OpenCL/CUDA stream); work across lanes overlaps freely.
-enum class Lane { kGpu = 0, kCpu = 1, kCopy = 2 };
-inline constexpr int kNumLanes = 3;
 
 /// Deterministic list scheduler over the platform lanes: nodes are offered
 /// in a fixed (topological) order, each starting when both its dependencies

@@ -3,8 +3,28 @@
 #include <cstring>
 
 #include "core/error.h"
+#include "obs/metrics.h"
 
 namespace igc {
+namespace {
+
+// Process-wide arena instruments, resolved once. All arenas share them: the
+// metrics answer "how much arena traffic did this process/run generate".
+obs::Counter& acquire_counter() {
+  static auto& c = obs::MetricsRegistry::global().counter("arena.acquires");
+  return c;
+}
+obs::Counter& release_counter() {
+  static auto& c = obs::MetricsRegistry::global().counter("arena.releases");
+  return c;
+}
+obs::Gauge& high_water_gauge() {
+  static auto& g =
+      obs::MetricsRegistry::global().gauge("arena.high_water_bytes");
+  return g;
+}
+
+}  // namespace
 
 BufferArena::BufferArena(std::vector<int64_t> buffer_bytes) {
   bufs_.reserve(buffer_bytes.size());
@@ -21,6 +41,7 @@ Tensor BufferArena::acquire(int buffer_id, const Shape& shape, DType dtype,
                             bool zero_fill) {
   std::shared_ptr<char[]> data;
   int64_t bytes = 0;
+  int64_t in_use_now = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     IGC_CHECK_GE(buffer_id, 0);
@@ -37,20 +58,26 @@ Tensor BufferArena::acquire(int buffer_id, const Shape& shape, DType dtype,
     peak_ = std::max(peak_, in_use_);
     data = s.data;
     bytes = s.bytes;
+    in_use_now = in_use_;
   }
+  acquire_counter().add(1);
+  high_water_gauge().update_max(in_use_now);
   Tensor t = Tensor::wrap(shape, dtype, std::move(data), bytes);
   if (zero_fill) std::memset(t.raw_data(), 0, static_cast<size_t>(t.nbytes()));
   return t;
 }
 
 void BufferArena::release(int buffer_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  IGC_CHECK_GE(buffer_id, 0);
-  IGC_CHECK_LT(buffer_id, static_cast<int>(bufs_.size()));
-  Slab& s = bufs_[static_cast<size_t>(buffer_id)];
-  IGC_CHECK(s.in_use) << "arena buffer " << buffer_id << " double-released";
-  s.in_use = false;
-  in_use_ -= s.bytes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    IGC_CHECK_GE(buffer_id, 0);
+    IGC_CHECK_LT(buffer_id, static_cast<int>(bufs_.size()));
+    Slab& s = bufs_[static_cast<size_t>(buffer_id)];
+    IGC_CHECK(s.in_use) << "arena buffer " << buffer_id << " double-released";
+    s.in_use = false;
+    in_use_ -= s.bytes;
+  }
+  release_counter().add(1);
 }
 
 int64_t BufferArena::in_use_bytes() const {

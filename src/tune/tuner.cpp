@@ -5,9 +5,15 @@
 #include <vector>
 
 #include "core/error.h"
+#include "obs/metrics.h"
 
 namespace igc::tune {
 namespace {
+
+obs::Counter& trials_counter() {
+  static auto& c = obs::MetricsRegistry::global().counter("tuner.trials");
+  return c;
+}
 
 class Recorder {
  public:
@@ -18,6 +24,7 @@ class Recorder {
     const double ms = measure_(cfg);
     IGC_CHECK_GT(ms, 0.0);
     ++trials_;
+    trials_counter().add(1);
     xs_.push_back(config_features(cfg));
     ys_.push_back(ms);
     if (ms < best_ms_) {

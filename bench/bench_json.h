@@ -11,6 +11,8 @@
 #include <cstdio>
 #include <string>
 
+#include "graph/pass_manager.h"
+
 namespace igc::bench {
 
 class JsonObject {
@@ -89,22 +91,26 @@ class JsonObject {
 
 /// Bump when the shared header below (or a bench's row shape) changes
 /// incompatibly, so dashboards can key parsers off it.
-inline constexpr int kBenchSchemaVersion = 1;
+/// v2: added "passes" (comma-joined graph pass pipeline).
+inline constexpr int kBenchSchemaVersion = 2;
 
 /// Starts a row carrying the shared metadata header every BENCH_*.json line
-/// leads with: bench name, schema version, platform, model, and executor
-/// mode ("sequential" | "wavefront" | "all" for rows aggregating both).
+/// leads with: bench name, schema version, platform, model, executor mode
+/// ("sequential" | "wavefront" | "all" for rows aggregating both), and the
+/// active graph pass pipeline (comma-joined names; pass
+/// graph::join_pass_names(cm.pass_pipeline()) when a bench customizes it).
 /// Append bench-specific fields to the returned object, then emit().
-inline JsonObject bench_row(const std::string& bench,
-                            const std::string& platform,
-                            const std::string& model,
-                            const std::string& mode = "sequential") {
+inline JsonObject bench_row(
+    const std::string& bench, const std::string& platform,
+    const std::string& model, const std::string& mode = "sequential",
+    const std::string& passes = graph::default_pass_names_joined()) {
   JsonObject j;
   j.field("bench", bench)
       .field("schema_version", kBenchSchemaVersion)
       .field("platform", platform)
       .field("model", model)
-      .field("mode", mode);
+      .field("mode", mode)
+      .field("passes", passes);
   return j;
 }
 

@@ -5,6 +5,7 @@
 //               [--dump-graph] [--dump-kernels] [--save-db PATH]
 //               [--load-db PATH] [--untuned] [--wavefront] [--arena]
 //               [--trace PATH] [--report] [--metrics PATH]
+//               [--passes a,b,c] [--no-pass NAME] [--dump-graph-after NAME]
 //
 //   model:  resnet50 | inception | mobilenet | squeezenet | ssd_mobilenet
 //           | ssd_resnet50 | yolov3 | fcn
@@ -51,7 +52,9 @@ int main(int argc, char** argv) {
                  "usage: %s <model> <device> [--trials N] [--fallback-nms] "
                  "[--dump-graph] [--dump-kernels] [--save-db PATH] "
                  "[--load-db PATH] [--untuned] [--wavefront] [--arena] "
-                 "[--trace PATH] [--report] [--metrics PATH]\n",
+                 "[--trace PATH] [--report] [--metrics PATH] "
+                 "[--passes a,b,c] [--no-pass NAME] "
+                 "[--dump-graph-after NAME]\n",
                  argv[0]);
     return 2;
   }
@@ -89,6 +92,25 @@ int main(int argc, char** argv) {
       report = true;
     } else if (!std::strcmp(argv[i], "--metrics") && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--passes") && i + 1 < argc) {
+      // Explicit pipeline, comma-separated in run order.
+      const std::string list = argv[++i];
+      size_t start = 0;
+      while (start <= list.size()) {
+        const size_t comma = list.find(',', start);
+        const size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > start) opts.pass_names.push_back(list.substr(start, end - start));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (!std::strncmp(argv[i], "--no-pass=", 10)) {
+      opts.disabled_passes.insert(argv[i] + 10);
+    } else if (!std::strcmp(argv[i], "--no-pass") && i + 1 < argc) {
+      opts.disabled_passes.insert(argv[++i]);
+    } else if (!std::strncmp(argv[i], "--dump-graph-after=", 19)) {
+      opts.dump_graph_after.insert(argv[i] + 19);
+    } else if (!std::strcmp(argv[i], "--dump-graph-after") && i + 1 < argc) {
+      opts.dump_graph_after.insert(argv[++i]);
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
       return 2;
@@ -108,6 +130,12 @@ int main(int argc, char** argv) {
   std::printf("compiling %s for %s (%d trials/workload)...\n",
               model.name.c_str(), platform.name.c_str(), opts.tune_trials);
   const CompiledModel cm = compile(std::move(model), platform, opts);
+  std::printf("  passes:");
+  for (const auto& st : cm.pass_report()) {
+    std::printf(" %s(%d rewrites, %.2f ms)", st.pass.c_str(), st.rewrites,
+                st.wall_ms);
+  }
+  std::printf("\n");
   std::printf("  %d GPU nodes, %d CPU nodes, %d copies; %zu tuned workloads\n",
               cm.pass_stats().gpu_nodes, cm.pass_stats().cpu_nodes,
               cm.pass_stats().copies_inserted, cm.tune_db().size());

@@ -173,6 +173,7 @@ BaselineResult run_baseline(VendorLib lib, const models::Model& model,
   for (const auto& n : model.graph.nodes()) {
     switch (n.kind) {
       case graph::OpKind::kInput:
+      case graph::OpKind::kConstant:  // resident data: no kernel charged
       case graph::OpKind::kFlatten:
         break;
       case graph::OpKind::kConv2d:

@@ -13,7 +13,15 @@ CompiledModel compile(models::Model model, const sim::Platform& platform,
   cm.name_ = model.name;
   cm.platform_ = &platform;
   cm.graph_ = std::move(model.graph);
-  cm.pass_stats_ = graph::optimize(cm.graph_, opts.cpu_fallback_ops);
+  graph::PassPipelineOptions popts;
+  popts.validate_after_each = opts.validate_after_each_pass;
+  popts.dump_graph_after = opts.dump_graph_after;
+  popts.dump_stream = opts.dump_stream;
+  const graph::PassPipeline pipeline = graph::build_pipeline(
+      opts.pass_names, opts.disabled_passes, opts.cpu_fallback_ops,
+      std::move(popts));
+  cm.pass_report_ = pipeline.run(cm.graph_);
+  cm.pass_stats_ = graph::pass_stats_from(cm.pass_report_, cm.graph_);
   if (opts.warm_db != nullptr) cm.db_ = *opts.warm_db;
   cm.tuned_ = !opts.skip_tuning;
   if (!opts.skip_tuning) {
@@ -86,6 +94,13 @@ RunResult CompiledModel::run(uint64_t input_seed, bool compute_numerics) const {
 
 graph::MemoryPlan CompiledModel::memory_plan() const {
   return graph::plan_memory(graph_);
+}
+
+std::vector<std::string> CompiledModel::pass_pipeline() const {
+  std::vector<std::string> names;
+  names.reserve(pass_report_.size());
+  for (const auto& st : pass_report_) names.push_back(st.pass);
+  return names;
 }
 
 std::map<std::string, std::string> CompiledModel::generated_sources() const {

@@ -12,15 +12,18 @@
 // exposes to application developers.
 #pragma once
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "graph/executor.h"
 #include "graph/graph.h"
 #include "graph/memory_planner.h"
+#include "graph/pass_manager.h"
 #include "graph/passes.h"
 #include "models/models.h"
 #include "sim/device_spec.h"
@@ -40,6 +43,21 @@ struct CompileOptions {
   const tune::TuneDb* warm_db = nullptr;
   /// Skip tuning entirely: run the hand-written templates (for comparisons).
   bool skip_tuning = false;
+
+  // --- graph pass pipeline (see graph/pass_manager.h) ---------------------
+  /// Explicit pass order; empty runs graph::default_pass_names(). Unknown
+  /// names raise igc::Error at compile() time.
+  std::vector<std::string> pass_names;
+  /// Passes dropped from the pipeline (whatever its order). The compiler
+  /// tolerates any subset: the executor and memory planner handle
+  /// un-compacted and unplaced graphs.
+  std::set<std::string> disabled_passes;
+  /// Run Graph::validate() after every pass (compile-time cost only).
+  bool validate_after_each_pass = false;
+  /// Stream Graph::summary() after each named pass to `dump_stream`
+  /// (std::cerr when null) — the `igc-compile --dump-graph-after` view.
+  std::set<std::string> dump_graph_after;
+  std::ostream* dump_stream = nullptr;
 };
 
 /// Knobs for one inference call. Outputs are bit-identical across every
@@ -93,6 +111,12 @@ class CompiledModel {
   const std::string& model_name() const { return name_; }
   const sim::Platform& platform() const { return *platform_; }
   const graph::PassStats& pass_stats() const { return pass_stats_; }
+  /// Per-pass record (name, rewrites, wall ms) of the pipeline compile() ran.
+  const std::vector<graph::PassRunStats>& pass_report() const {
+    return pass_report_;
+  }
+  /// Ordered names of the passes compile() ran.
+  std::vector<std::string> pass_pipeline() const;
   const tune::TuneDb& tune_db() const { return db_; }
   const std::map<int, int>& layouts() const { return layouts_; }
   /// Static memory plan of the optimized graph.
@@ -124,6 +148,7 @@ class CompiledModel {
   graph::Graph graph_;
   const sim::Platform* platform_ = nullptr;
   graph::PassStats pass_stats_;
+  std::vector<graph::PassRunStats> pass_report_;
   tune::TuneDb db_;
   std::map<int, int> layouts_;
   bool tuned_ = true;

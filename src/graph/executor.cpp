@@ -207,14 +207,9 @@ class ExecutorImpl {
     }
   }
 
-  void compute_liveness() {
-    live_.assign(static_cast<size_t>(g_.num_nodes()), false);
-    live_[static_cast<size_t>(g_.output())] = true;
-    for (int id = g_.num_nodes() - 1; id >= 0; --id) {
-      if (!live(id)) continue;
-      for (int in : g_.node(id).inputs) live_[static_cast<size_t>(in)] = true;
-    }
-  }
+  // Compacted graphs (the default pipeline) are fully live; the mask only
+  // filters dead markers when a custom pipeline skipped compaction.
+  void compute_liveness() { live_ = g_.live_mask(); }
 
   void setup_arena() {
     if (opts_.arena != nullptr) {
@@ -676,6 +671,26 @@ class ExecutorImpl {
           v.tensor =
               Tensor::random_uniform(n.out_shape, cx.rng, 0.0f, 1.0f);
           v.heap_bytes = v.tensor.nbytes();
+        }
+        v.materialized = true;
+        layout_block_[static_cast<size_t>(n.id)] = 1;
+        return;
+      }
+      case OpKind::kConstant: {
+        // Pre-computed at compile time and resident like a weight in unified
+        // memory: charges no kernel and no clock time. Outside the arena the
+        // value aliases the graph's tensor (heap_bytes stays 0 — it is not a
+        // per-run allocation); with an arena it copies into the planned slab
+        // so downstream buffer reuse stays plan-managed.
+        Value& v = val(n.id);
+        if (arena_ != nullptr) {
+          Tensor t = arena_acquire(n, n.out_shape, n.weight.dtype(),
+                                   /*zero_fill=*/false);
+          std::memcpy(t.raw_data(), n.weight.raw_data(),
+                      static_cast<size_t>(n.weight.nbytes()));
+          v.tensor = std::move(t);
+        } else {
+          v.tensor = n.weight;
         }
         v.materialized = true;
         layout_block_[static_cast<size_t>(n.id)] = 1;
@@ -1168,6 +1183,9 @@ class ExecutorImpl {
 
 sim::OpCategory categorize(OpKind kind, Place place) {
   if (kind == OpKind::kDeviceCopy) return sim::OpCategory::kCopy;
+  // Constants are resident data, not kernels; never a fallback regardless of
+  // where placement tagged them.
+  if (kind == OpKind::kConstant) return sim::OpCategory::kOther;
   if (place == Place::kCpu && kind != OpKind::kInput) {
     return sim::OpCategory::kFallback;
   }

@@ -9,6 +9,7 @@ namespace igc::graph {
 std::string_view op_kind_name(OpKind k) {
   switch (k) {
     case OpKind::kInput: return "input";
+    case OpKind::kConstant: return "constant";
     case OpKind::kConv2d: return "conv2d";
     case OpKind::kConv2dTranspose: return "conv2d_transpose";
     case OpKind::kScaleShift: return "scale_shift";
@@ -60,6 +61,16 @@ int Graph::add_input(const std::string& name, Shape shape) {
   n.name = name;
   n.kind = OpKind::kInput;
   n.out_shape = std::move(shape);
+  return push(std::move(n));
+}
+
+int Graph::add_constant(const std::string& name, Tensor value) {
+  IGC_CHECK(value.defined()) << name << ": constant needs a bound tensor";
+  Node n;
+  n.name = name;
+  n.kind = OpKind::kConstant;
+  n.out_shape = value.shape();
+  n.weight = std::move(value);
   return push(std::move(n));
 }
 
@@ -360,6 +371,17 @@ std::vector<std::vector<int>> Graph::consumers() const {
   return out;
 }
 
+std::vector<bool> Graph::live_mask() const {
+  std::vector<bool> live(nodes_.size(), false);
+  if (output_ < 0) return live;
+  live[static_cast<size_t>(output_)] = true;
+  for (int id = num_nodes() - 1; id >= 0; --id) {
+    if (!live[static_cast<size_t>(id)]) continue;
+    for (int in : node(id).inputs) live[static_cast<size_t>(in)] = true;
+  }
+  return live;
+}
+
 std::vector<int> Graph::conv_node_ids() const {
   std::vector<int> ids;
   for (const Node& n : nodes_) {
@@ -378,14 +400,7 @@ int64_t Graph::total_conv_flops() const {
 
 std::string Graph::summary() const {
   // Mark liveness so bypassed pass-through nodes are hidden.
-  std::vector<bool> live(static_cast<size_t>(num_nodes()), false);
-  if (output_ >= 0) {
-    live[static_cast<size_t>(output_)] = true;
-    for (int id = num_nodes() - 1; id >= 0; --id) {
-      if (!live[static_cast<size_t>(id)]) continue;
-      for (int in : node(id).inputs) live[static_cast<size_t>(in)] = true;
-    }
-  }
+  const std::vector<bool> live = live_mask();
   std::ostringstream os;
   char line[256];
   std::snprintf(line, sizeof(line), "%4s  %-18s %-28s %-22s %-4s %s\n", "id",
@@ -413,10 +428,19 @@ std::string Graph::summary() const {
 }
 
 void Graph::validate() const {
-  for (const Node& n : nodes_) {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    IGC_CHECK_EQ(n.id, static_cast<int>(i))
+        << n.name << ": node id does not match its list position";
     for (int in : n.inputs) {
       IGC_CHECK_GE(in, 0);
-      IGC_CHECK_LT(in, n.id);
+      IGC_CHECK_LT(in, n.id) << n.name << ": edge breaks topological order";
+    }
+    if (n.kind == OpKind::kConstant) {
+      IGC_CHECK(n.weight.defined()) << n.name << ": constant without a tensor";
+      IGC_CHECK(n.inputs.empty()) << n.name << ": constant with inputs";
+      IGC_CHECK(n.weight.shape() == n.out_shape)
+          << n.name << ": constant tensor/shape mismatch";
     }
   }
   IGC_CHECK_GE(output_, 0);

@@ -23,6 +23,7 @@ namespace igc::graph {
 
 enum class OpKind {
   kInput,
+  kConstant,  // compile-time tensor bound into the graph (resident weight)
   kConv2d,
   kConv2dTranspose,
   kScaleShift,  // folded batch norm
@@ -94,6 +95,11 @@ class Graph {
   /// Node construction (returns the new node id). Inputs must already exist,
   /// preserving topological order by construction.
   int add_input(const std::string& name, Shape shape);
+  /// A compile-time constant tensor (stored in the node's `weight` slot).
+  /// Resident like model weights: execution charges no kernel for it, and
+  /// the constant-precompute pass folds operators whose inputs are all
+  /// constants into new constants.
+  int add_constant(const std::string& name, Tensor value);
   int add_conv2d(const std::string& name, int input, ops::Conv2dParams p,
                  Tensor weight, Tensor bias = {});
   int add_conv2d_transpose(const std::string& name, int input,
@@ -146,13 +152,23 @@ class Graph {
   /// Consumers of each node (recomputed on demand).
   std::vector<std::vector<int>> consumers() const;
 
+  /// Per-node reachability from the output. On a compacted graph (after the
+  /// dce pass, or any placement rebuild) every entry is true; rewiring
+  /// passes may leave unreferenced pass-through nodes, which planners and
+  /// executors skip via this mask.
+  std::vector<bool> live_mask() const;
+
   /// All conv nodes in topological order.
   std::vector<int> conv_node_ids() const;
 
   /// Total conv FLOPs (for reporting).
   int64_t total_conv_flops() const;
 
-  /// Validates topological ordering and shape consistency of edges.
+  /// Validates structural invariants: node ids match their list positions,
+  /// every edge points to an earlier node (topological order), the output id
+  /// is in range, and constants carry a bound tensor. Passes are expected to
+  /// preserve all of these; PassPipelineOptions::validate_after_each checks
+  /// them after every stage.
   void validate() const;
 
   /// Human-readable table of the (live) nodes: id, op, name, output shape,

@@ -11,14 +11,11 @@ MemoryPlan plan_memory(const Graph& g) {
   MemoryPlan plan;
   plan.buffer_of_node.assign(static_cast<size_t>(n), -1);
 
-  // Dead nodes (bypassed by passes, unreachable from the output) get no
-  // buffer and do not count as consumers.
-  std::vector<bool> live(static_cast<size_t>(n), false);
-  live[static_cast<size_t>(g.output())] = true;
-  for (int id = n - 1; id >= 0; --id) {
-    if (!live[static_cast<size_t>(id)]) continue;
-    for (int in : g.node(id).inputs) live[static_cast<size_t>(in)] = true;
-  }
+  // The default pipeline compacts the graph (dce/place), so normally every
+  // node is live and gets a buffer. A custom pipeline that skips compaction
+  // may leave bypassed nodes; those get no buffer (-1) and do not count as
+  // consumers.
+  const std::vector<bool> live = g.live_mask();
 
   // Liveness: node output is live from its definition to its last (live)
   // consumer; the graph output is live to the end.

@@ -15,7 +15,9 @@
 namespace igc::graph {
 
 struct MemoryPlan {
-  /// Buffer id assigned to each node's output (-1 for dead nodes).
+  /// Buffer id assigned to each node's output. On a compacted graph (the
+  /// default pipeline ends in dce/place) every entry is >= 0; only custom
+  /// pipelines that skip compaction leave -1 entries for dead nodes.
   std::vector<int> buffer_of_node;
   /// Size in bytes of each buffer.
   std::vector<int64_t> buffer_bytes;

@@ -1,14 +1,17 @@
 #include "graph/passes.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/error.h"
+#include "graph/pass_manager.h"
 
 namespace igc::graph {
 namespace {
 
 /// Rewires every consumer of `from` to read `to` instead, and moves the
-/// graph output if needed. `from` becomes unreferenced (dead).
+/// graph output if needed. `from` becomes unreferenced (dead) until the
+/// dce pass removes it.
 void bypass(Graph& g, int from, int to) {
   for (Node& n : g.nodes()) {
     for (int& in : n.inputs) {
@@ -18,21 +21,10 @@ void bypass(Graph& g, int from, int to) {
   if (g.output() == from) g.set_output(to);
 }
 
-/// Nodes reachable from the output (dead pass-through nodes excluded).
-std::vector<bool> live_mask(const Graph& g) {
-  std::vector<bool> live(static_cast<size_t>(g.num_nodes()), false);
-  live[static_cast<size_t>(g.output())] = true;
-  for (int id = g.num_nodes() - 1; id >= 0; --id) {
-    if (!live[static_cast<size_t>(id)]) continue;
-    for (int in : g.node(id).inputs) live[static_cast<size_t>(in)] = true;
-  }
-  return live;
-}
-
 /// Consumer lists counting only live nodes, so earlier passes' bypassed
 /// nodes do not inhibit later rewrites.
 std::vector<std::vector<int>> live_consumers(const Graph& g) {
-  const std::vector<bool> live = live_mask(g);
+  const std::vector<bool> live = g.live_mask();
   std::vector<std::vector<int>> out(static_cast<size_t>(g.num_nodes()));
   for (const Node& n : g.nodes()) {
     if (!live[static_cast<size_t>(n.id)]) continue;
@@ -41,12 +33,71 @@ std::vector<std::vector<int>> live_consumers(const Graph& g) {
   return out;
 }
 
+/// Compile-time evaluation of one node whose inputs are all constants.
+/// Mirrors the executor's numerics exactly (same reference kernels, same
+/// fusion epilogues), so pre-computing never changes an output bit.
+/// Returns nullopt for kinds that must stay at runtime (vision ops draw
+/// synthetic data; device copies belong to placement).
+std::optional<Tensor> eval_constant_node(const Graph& g, const Node& n) {
+  std::vector<Tensor> ins;
+  ins.reserve(n.inputs.size());
+  for (int in : n.inputs) ins.push_back(g.node(in).weight);
+  // The executor applies the fused-activation epilogue to conv / add /
+  // dense / deconv outputs (exec_conv, finish_heavy, the kAdd case).
+  const auto epilogue = [&](Tensor t) {
+    if (n.fused_activation) {
+      t = ops::activation_reference(t, n.fused_act, n.fused_act_alpha);
+    }
+    return t;
+  };
+  switch (n.kind) {
+    case OpKind::kScaleShift:
+      return ops::scale_shift_reference(ins[0], n.scale, n.shift);
+    case OpKind::kActivation:
+      return ops::activation_reference(ins[0], n.act, n.act_alpha);
+    case OpKind::kAdd:
+      return epilogue(ops::add_reference(ins[0], ins[1]));
+    case OpKind::kConcat:
+      return ops::concat_channels_reference(ins);
+    case OpKind::kPool2d:
+      return ops::pool2d_reference(ins[0], n.pool);
+    case OpKind::kGlobalAvgPool:
+      return ops::global_avg_pool_reference(ins[0]);
+    case OpKind::kFlatten:
+      return ins[0].reshape(n.out_shape);
+    case OpKind::kSoftmax:
+      return ops::softmax_reference(ins[0]);
+    case OpKind::kUpsample2x:
+      return ops::upsample2x_reference(ins[0]);
+    case OpKind::kDense:
+      return epilogue(ops::dense_reference(
+          ins[0], n.weight, n.bias.defined() ? &n.bias : nullptr, n.dense));
+    case OpKind::kConv2d: {
+      Tensor t = ops::conv2d_reference(
+          ins[0], n.weight, n.bias.defined() ? &n.bias : nullptr, n.conv);
+      if (n.fused_scale_shift) {
+        t = ops::scale_shift_reference(t, n.fused_scale, n.fused_shift);
+      }
+      return epilogue(t);
+    }
+    case OpKind::kConv2dTranspose:
+      return epilogue(ops::conv2d_transpose_reference(
+          ins[0], n.weight, n.bias.defined() ? &n.bias : nullptr, n.deconv));
+    default:
+      return std::nullopt;
+  }
+}
+
 }  // namespace
 
 int fold_scale_shift_pass(Graph& g) {
   int folded = 0;
   const auto consumers = live_consumers(g);
+  const std::vector<bool> live = g.live_mask();
   for (Node& n : g.nodes()) {
+    // An already-bypassed marker must not fold again (the scale would apply
+    // twice) — skipping dead nodes makes a second run find nothing.
+    if (!live[static_cast<size_t>(n.id)]) continue;
     if (n.kind != OpKind::kScaleShift) continue;
     Node& producer = g.node(n.inputs[0]);
     if (!producer.is_conv()) continue;
@@ -81,7 +132,9 @@ int fold_scale_shift_pass(Graph& g) {
 int fuse_activation_pass(Graph& g) {
   int fused = 0;
   const auto consumers = live_consumers(g);
+  const std::vector<bool> live = g.live_mask();
   for (Node& n : g.nodes()) {
+    if (!live[static_cast<size_t>(n.id)]) continue;
     if (n.kind != OpKind::kActivation) continue;
     Node& producer = g.node(n.inputs[0]);
     const bool fusable = producer.kind == OpKind::kConv2d ||
@@ -100,29 +153,91 @@ int fuse_activation_pass(Graph& g) {
   return fused;
 }
 
+int constant_precompute_pass(Graph& g) {
+  int folded = 0;
+  const std::vector<bool> live = g.live_mask();
+  // Topological order: folding node k into a constant lets a later node
+  // whose other inputs are already constant fold in the same sweep, so a
+  // whole constant subgraph collapses in one run (and the second run finds
+  // nothing left to fold — idempotence). Dead markers left by earlier
+  // rewiring passes are skipped: evaluating them would waste compile time
+  // on results nothing reads.
+  for (Node& n : g.nodes()) {
+    if (!live[static_cast<size_t>(n.id)]) continue;
+    if (n.kind == OpKind::kConstant || n.kind == OpKind::kInput) continue;
+    if (n.inputs.empty()) continue;
+    const bool all_const = std::all_of(
+        n.inputs.begin(), n.inputs.end(),
+        [&](int in) { return g.node(in).kind == OpKind::kConstant; });
+    if (!all_const) continue;
+    std::optional<Tensor> value = eval_constant_node(g, n);
+    if (!value.has_value()) continue;
+    IGC_CHECK(value->shape() == n.out_shape)
+        << n.name << ": precompute shape " << value->shape().str();
+    // Rewrite in place: the node keeps its id and name (consumers and the
+    // per-node RNG seeding are untouched); its feeders become dead.
+    n.kind = OpKind::kConstant;
+    n.weight = std::move(*value);
+    n.bias = Tensor();
+    n.inputs.clear();
+    n.fused_scale_shift = false;
+    n.fused_scale = Tensor();
+    n.fused_shift = Tensor();
+    n.fused_activation = false;
+    ++folded;
+  }
+  return folded;
+}
+
+int dead_node_elimination_pass(Graph& g) {
+  const std::vector<bool> live = g.live_mask();
+  const int dead = static_cast<int>(
+      std::count(live.begin(), live.end(), false));
+  if (dead == 0) return 0;
+
+  Graph compact;
+  std::vector<int> remap(static_cast<size_t>(g.num_nodes()), -1);
+  for (Node& old : g.nodes()) {
+    if (!live[static_cast<size_t>(old.id)]) continue;
+    const int old_id = old.id;
+    Node n = std::move(old);  // the source graph is discarded below
+    for (int& in : n.inputs) {
+      in = remap[static_cast<size_t>(in)];
+      IGC_CHECK_GE(in, 0);
+    }
+    compact.nodes().push_back(std::move(n));
+    compact.nodes().back().id = compact.num_nodes() - 1;
+    remap[static_cast<size_t>(old_id)] = compact.nodes().back().id;
+  }
+  compact.set_output(remap[static_cast<size_t>(g.output())]);
+  compact.validate();
+  g = std::move(compact);
+  return dead;
+}
+
 int placement_pass(Graph& g, const std::set<OpKind>& cpu_ops) {
-  // Pass 1: tag each node's device. Inputs and constants are host-side;
-  // every compute node defaults to GPU unless its kind is in the fallback
-  // list.
+  // Pass 1: tag each node's device. Inputs are host-side; constants are
+  // resident wherever their consumers read them (unified memory), so they
+  // take the GPU default and never cost a per-run upload; every compute
+  // node defaults to GPU unless its kind is in the fallback list.
   for (Node& n : g.nodes()) {
     if (n.kind == OpKind::kInput) {
       n.place = Place::kCpu;
+    } else if (n.kind == OpKind::kDeviceCopy) {
+      // A copy from an earlier placement run keeps its destination side;
+      // retagging it would strand it on one device and trigger an endless
+      // chain of new copies on repeated runs.
     } else {
       n.place = cpu_ops.count(n.kind) ? Place::kCpu : Place::kGpu;
     }
   }
 
   // Pass 2: rebuild the node list, inserting a device_copy between any two
-  // directly connected nodes on different devices.
+  // directly connected nodes on different devices. The rebuild keeps only
+  // live nodes, so it compacts even when the dce pass was disabled.
   Graph rebuilt;
   std::vector<int> remap(static_cast<size_t>(g.num_nodes()), -1);
-  // Track which nodes are still referenced (skip dead pass-throughs).
-  std::vector<bool> live(static_cast<size_t>(g.num_nodes()), false);
-  live[static_cast<size_t>(g.output())] = true;
-  for (int id = g.num_nodes() - 1; id >= 0; --id) {
-    if (!live[static_cast<size_t>(id)]) continue;
-    for (int in : g.node(id).inputs) live[static_cast<size_t>(in)] = true;
-  }
+  const std::vector<bool> live = g.live_mask();
 
   int copies = 0;
   for (Node& old : g.nodes()) {
@@ -133,7 +248,9 @@ int placement_pass(Graph& g, const std::set<OpKind>& cpu_ops) {
       const int mapped = remap[static_cast<size_t>(in)];
       IGC_CHECK_GE(mapped, 0);
       const Node& producer = rebuilt.node(mapped);
-      if (producer.place != n.place) {
+      // A device copy's whole job is to bridge devices, so its input being
+      // on the far side is expected, not a boundary to patch.
+      if (producer.place != n.place && n.kind != OpKind::kDeviceCopy) {
         Node copy;
         copy.name = producer.name + "_to_" +
                     (n.place == Place::kGpu ? "gpu" : "cpu");
@@ -161,18 +278,8 @@ int placement_pass(Graph& g, const std::set<OpKind>& cpu_ops) {
 }
 
 PassStats optimize(Graph& g, const std::set<OpKind>& cpu_ops) {
-  PassStats stats;
-  stats.folded_scale_shifts = fold_scale_shift_pass(g);
-  stats.fused_activations = fuse_activation_pass(g);
-  stats.copies_inserted = placement_pass(g, cpu_ops);
-  for (const Node& n : g.nodes()) {
-    if (n.place == Place::kGpu) {
-      ++stats.gpu_nodes;
-    } else {
-      ++stats.cpu_nodes;
-    }
-  }
-  return stats;
+  const PassPipeline pipeline = build_pipeline({}, {}, cpu_ops);
+  return pass_stats_from(pipeline.run(g), g);
 }
 
 }  // namespace igc::graph

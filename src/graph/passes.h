@@ -1,10 +1,16 @@
 // Graph-level optimization passes (Sec. 3.2.3 "general graph-level
 // optimizations" and Sec. 3.1.2 heterogeneous placement).
 //
-// Passes rewrite the node list in place. Removed nodes are left in the list
-// as pass-through markers (kind preserved, `dead` consumers rewired), so node
-// ids stay stable; the executor skips rewired nodes naturally because no one
-// references them.
+// Each pass rewrites the node list in place and returns the number of
+// rewrites it performed. Rewiring passes (fold, fuse, precompute) leave
+// bypassed nodes in the list as unreferenced pass-through markers so node
+// ids stay stable *within* the pass; the dead-node-elimination pass then
+// actually removes them and renumbers the survivors, so downstream stages
+// (memory planner, executor, layout tuner, trace spans) see a compact,
+// fully-live graph.
+//
+// These free functions are the raw rewrites; src/graph/pass_manager.h wraps
+// them as named `Pass` objects composed into an instrumented `PassPipeline`.
 #pragma once
 
 #include <set>
@@ -16,6 +22,11 @@ namespace igc::graph {
 struct PassStats {
   int folded_scale_shifts = 0;
   int fused_activations = 0;
+  /// Nodes replaced by pre-computed constants (constant_precompute).
+  int precomputed_constants = 0;
+  /// Dead pass-through nodes removed by compaction (dce).
+  int removed_dead_nodes = 0;
+  /// Device counts over live nodes only.
   int gpu_nodes = 0;
   int cpu_nodes = 0;
   int copies_inserted = 0;
@@ -30,15 +41,31 @@ int fold_scale_shift_pass(Graph& g);
 /// epilogue, removing one elementwise kernel launch per fusion.
 int fuse_activation_pass(Graph& g);
 
+/// Constant pre-computing (Sec. 3.2.3): evaluates every node whose inputs
+/// are all bound constants at compile time and replaces it with a kConstant
+/// node holding the result, so the work never runs at inference time. Walks
+/// in topological order, so whole constant subgraphs collapse in one run;
+/// the absorbed feeder constants become dead (removed by compaction).
+int constant_precompute_pass(Graph& g);
+
+/// Dead-node elimination with graph compaction: removes every node
+/// unreachable from the output (the pass-through markers left by rewiring
+/// passes) and renumbers the survivors densely, preserving topological
+/// order. After this pass every node id is live, so the memory plan assigns
+/// a buffer to every slot and the executor never skips a node.
+int dead_node_elimination_pass(Graph& g);
+
 /// Heterogeneous placement, exactly as described in Sec. 3.1.2:
 /// pass 1 tags every node GPU if its op kind is in the known-performant
 /// list (everything except `cpu_ops`), else CPU; pass 2 inserts a
 /// device_copy node between any two directly connected nodes with different
-/// devices. Returns the number of copies inserted.
+/// devices (rebuilding the node list, which also drops any dead nodes).
+/// Returns the number of copies inserted.
 int placement_pass(Graph& g, const std::set<OpKind>& cpu_ops);
 
-/// Runs the standard pipeline: fold, fuse, place. Vision ops stay on the GPU
-/// unless listed in `cpu_ops` (the fallback set).
+/// Runs the default pipeline (see pass_manager.h: fold, fuse, precompute,
+/// dce, place). Vision ops stay on the GPU unless listed in `cpu_ops` (the
+/// fallback set).
 PassStats optimize(Graph& g, const std::set<OpKind>& cpu_ops = {});
 
 }  // namespace igc::graph

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "graph/pass_manager.h"
+#include "sim/timing_model.h"
 
 namespace igc::bench {
 
@@ -92,7 +93,9 @@ class JsonObject {
 /// Bump when the shared header below (or a bench's row shape) changes
 /// incompatibly, so dashboards can key parsers off it.
 /// v2: added "passes" (comma-joined graph pass pipeline).
-inline constexpr int kBenchSchemaVersion = 2;
+/// v3: rows for executed runs may carry the counter summary block
+///     (counter_summary(): sim_launches/sim_flops/... — see below).
+inline constexpr int kBenchSchemaVersion = 3;
 
 /// Starts a row carrying the shared metadata header every BENCH_*.json line
 /// leads with: bench name, schema version, platform, model, executor mode
@@ -111,6 +114,23 @@ inline JsonObject bench_row(
       .field("model", model)
       .field("mode", mode)
       .field("passes", passes);
+  return j;
+}
+
+/// Appends the schema-v3 counter summary block (aggregated simulated
+/// hardware counters of one run) to a row. No-op for runs that charged no
+/// launches, so rows stay valid when a bench skips execution.
+inline JsonObject& counter_summary(JsonObject& j,
+                                   const sim::KernelCounters& c) {
+  if (c.launches <= 0) return j;
+  j.field("sim_launches", c.launches)
+      .field("sim_flops", c.flops)
+      .field("sim_dram_bytes", c.dram_bytes)
+      .field("achieved_gflops", c.achieved_gflops())
+      .field("achieved_gbps", c.achieved_gbps())
+      .field("arithmetic_intensity", c.arithmetic_intensity())
+      .field("avg_occupancy", c.occupancy)
+      .field("bound", std::string(sim::bound_name(c.bound)));
   return j;
 }
 

@@ -30,11 +30,16 @@ struct MeasuredRow {
   double ours_ms = 0.0;
   double vendor_ms = -1.0;
   bool vendor_supported = true;
+  /// Aggregated simulated hardware counters of the "ours" run (schema-v3
+  /// counter summary in the JSON rows).
+  sim::KernelCounters counters;
 };
 
-/// Full "ours" pipeline on one model. Tuning records accumulate in `db`.
+/// Full "ours" pipeline on one model. Tuning records accumulate in `db`;
+/// `counters` (optional) receives the run's aggregated hardware counters.
 inline double run_ours(models::Model& model, const sim::Platform& platform,
-                       tune::TuneDb& db, int tune_trials = 96) {
+                       tune::TuneDb& db, int tune_trials = 96,
+                       sim::KernelCounters* counters = nullptr) {
   graph::optimize(model.graph);
   tune::TuneOptions topts;
   topts.n_trials = tune_trials;
@@ -45,7 +50,10 @@ inline double run_ours(models::Model& model, const sim::Platform& platform,
   opts.db = &db;
   opts.conv_layout_block = layouts.layout_of_conv;
   Rng input_rng(0xbe5c);
-  return graph::execute(model.graph, platform, opts, input_rng).latency_ms;
+  const graph::ExecResult r =
+      graph::execute(model.graph, platform, opts, input_rng);
+  if (counters != nullptr) *counters = r.counters;
+  return r.latency_ms;
 }
 
 inline MeasuredRow run_row(models::Model& model, const sim::Platform& platform,
@@ -56,7 +64,8 @@ inline MeasuredRow run_row(models::Model& model, const sim::Platform& platform,
       baselines::vendor_for(platform), model, platform);
   row.vendor_supported = base.supported;
   if (base.supported) row.vendor_ms = base.latency_ms;
-  row.ours_ms = run_ours(model, platform, db);
+  row.ours_ms = run_ours(model, platform, db, /*tune_trials=*/96,
+                         &row.counters);
   return row;
 }
 
@@ -122,6 +131,7 @@ inline void run_platform_table(sim::PlatformId id, const std::string& bench,
     }
     j.field("paper_ours_ms", paper[i].ours_ms);
     if (paper[i].vendor_ms > 0) j.field("paper_vendor_ms", paper[i].vendor_ms);
+    counter_summary(j, r.counters);
     j.emit();
   }
 }

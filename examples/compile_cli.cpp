@@ -1,11 +1,7 @@
 // igc-compile: the command-line face of the stack — what a deployment
 // service (the paper's SageMaker Neo) would invoke per (model, device).
 //
-//   compile_cli <model> <device> [--trials N] [--fallback-nms]
-//               [--dump-graph] [--dump-kernels] [--save-db PATH]
-//               [--load-db PATH] [--untuned] [--wavefront] [--arena]
-//               [--trace PATH] [--report] [--metrics PATH]
-//               [--passes a,b,c] [--no-pass NAME] [--dump-graph-after NAME]
+//   compile_cli <model> <device> [flags]   (see --help)
 //
 //   model:  resnet50 | inception | mobilenet | squeezenet | ssd_mobilenet
 //           | ssd_resnet50 | yolov3 | fcn
@@ -13,9 +9,13 @@
 //
 // Observability: --trace writes a Chrome trace-event JSON of the inference
 // (open in chrome://tracing or https://ui.perfetto.dev — one track per
-// simulated lane plus the host scheduler threads), --report prints the
-// per-layer breakdown derived from the same trace, and --metrics writes a
-// JSON snapshot of the process-wide metrics registry.
+// simulated lane plus the host scheduler threads, plus counter tracks for
+// occupancy/GFLOPS/GB/s), --report prints the per-layer breakdown derived
+// from the same trace, --counters prints the per-op simulated hardware
+// counter table, --roofline prints the roofline attribution report,
+// --tune-journal records every tuning trial to a JSONL flight-recorder
+// file, and --metrics writes a JSON snapshot of the process-wide metrics
+// registry.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -23,8 +23,10 @@
 #include "core/compiler.h"
 #include "models/models.h"
 #include "obs/metrics.h"
+#include "obs/roofline.h"
 #include "obs/trace.h"
 #include "sim/device_spec.h"
+#include "tune/journal.h"
 #include "tune/tunedb.h"
 
 namespace {
@@ -43,19 +45,48 @@ igc::models::Model build_by_name(const std::string& name, igc::Rng& rng) {
   std::exit(2);
 }
 
+void usage(const char* argv0, std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: %s <model> <device> [flags]\n"
+      "  model:  resnet50 | inception | mobilenet | squeezenet |\n"
+      "          ssd_mobilenet | ssd_resnet50 | yolov3 | fcn\n"
+      "  device: aws-deeplens | acer-aisage | jetson-nano\n"
+      "compilation flags:\n"
+      "  --trials N              tuning trials per conv workload\n"
+      "  --untuned               skip tensor-level tuning\n"
+      "  --fallback-nms          force vision block onto the CPU\n"
+      "  --passes a,b,c          explicit pass pipeline (run order)\n"
+      "  --no-pass NAME          disable one pass (repeatable)\n"
+      "  --dump-graph-after NAME dump the graph after one pass\n"
+      "  --save-db PATH / --load-db PATH   persist / warm the TuneDb\n"
+      "execution flags:\n"
+      "  --wavefront             wavefront executor (default sequential)\n"
+      "  --arena                 plan-backed buffer arena\n"
+      "observability flags:\n"
+      "  --trace PATH            Chrome trace JSON (spans + counter tracks)\n"
+      "  --report                per-layer breakdown from the trace\n"
+      "  --counters              per-op simulated hardware counter table\n"
+      "  --roofline              roofline attribution report\n"
+      "  --tune-journal PATH     JSONL tuning flight recorder\n"
+      "  --metrics PATH          metrics registry snapshot JSON\n"
+      "other:\n"
+      "  --dump-graph, --dump-kernels, --help\n",
+      argv0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace igc;  // NOLINT
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      usage(argv[0], stdout);
+      return 0;
+    }
+  }
   if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: %s <model> <device> [--trials N] [--fallback-nms] "
-                 "[--dump-graph] [--dump-kernels] [--save-db PATH] "
-                 "[--load-db PATH] [--untuned] [--wavefront] [--arena] "
-                 "[--trace PATH] [--report] [--metrics PATH] "
-                 "[--passes a,b,c] [--no-pass NAME] "
-                 "[--dump-graph-after NAME]\n",
-                 argv[0]);
+    usage(argv[0], stderr);
     return 2;
   }
   const std::string model_name = argv[1];
@@ -64,7 +95,9 @@ int main(int argc, char** argv) {
   CompileOptions opts;
   bool dump_graph = false, dump_kernels = false;
   bool wavefront = false, arena = false, report = false;
-  std::string save_db, load_db, trace_path, metrics_path;
+  bool counters = false, roofline = false;
+  std::string save_db, load_db, trace_path, metrics_path, journal_path;
+  tune::TuneJournal journal;
   for (int i = 3; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--trials") && i + 1 < argc) {
       opts.tune_trials = std::atoi(argv[++i]);
@@ -92,6 +125,13 @@ int main(int argc, char** argv) {
       report = true;
     } else if (!std::strcmp(argv[i], "--metrics") && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--counters")) {
+      counters = true;
+    } else if (!std::strcmp(argv[i], "--roofline")) {
+      roofline = true;
+    } else if (!std::strcmp(argv[i], "--tune-journal") && i + 1 < argc) {
+      journal_path = argv[++i];
+      opts.tune_journal = &journal;
     } else if (!std::strcmp(argv[i], "--passes") && i + 1 < argc) {
       // Explicit pipeline, comma-separated in run order.
       const std::string list = argv[++i];
@@ -112,7 +152,8 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--dump-graph-after") && i + 1 < argc) {
       opts.dump_graph_after.insert(argv[++i]);
     } else {
-      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      std::fprintf(stderr, "unknown flag '%s'\n\n", argv[i]);
+      usage(argv[0], stderr);
       return 2;
     }
   }
@@ -149,13 +190,22 @@ int main(int argc, char** argv) {
   ropts.mode = wavefront ? graph::ExecMode::kWavefront
                          : graph::ExecMode::kSequential;
   ropts.use_arena = arena;
-  if (!trace_path.empty() || report) ropts.trace = &recorder;
+  if (!trace_path.empty() || report || counters || roofline)
+    ropts.trace = &recorder;
   const RunResult r = cm.run(ropts);
   std::printf("  latency %.2f ms [%s%s] (conv %.2f, vision %.2f, copies %.3f, "
               "fallback %.2f, other %.2f)\n",
               r.latency_ms, wavefront ? "wavefront" : "sequential",
               arena ? ", arena" : "", r.conv_ms, r.vision_ms, r.copy_ms,
               r.fallback_ms, r.other_ms);
+  if (r.counters.launches > 0) {
+    std::printf("  counters: %lld launches, %.1f GFLOPS achieved, %.1f GB/s "
+                "DRAM, occupancy %.2f, %s-bound overall\n",
+                static_cast<long long>(r.counters.launches),
+                r.counters.achieved_gflops(), r.counters.achieved_gbps(),
+                r.counters.occupancy,
+                std::string(sim::bound_name(r.counters.bound)).c_str());
+  }
   const auto plan = cm.memory_plan();
   std::printf("  activation memory: %.2f MB planned (%.2f MB unshared)\n",
               static_cast<double>(plan.total_bytes()) / 1e6,
@@ -171,6 +221,20 @@ int main(int argc, char** argv) {
                 recorder.spans().size(), trace_path.c_str());
   }
   if (report) std::printf("\n%s", recorder.report().c_str());
+  if (counters) std::printf("\n%s", obs::counters_table(recorder).c_str());
+  if (roofline) {
+    std::printf("\n%s",
+                obs::roofline_report(recorder, platform.gpu).str().c_str());
+  }
+  if (!journal_path.empty()) {
+    if (!journal.save(journal_path)) {
+      std::fprintf(stderr, "failed to write tuning journal to %s\n",
+                   journal_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu tuning trials to %s\n%s", journal.size(),
+                journal_path.c_str(), journal.convergence_report().c_str());
+  }
   if (!metrics_path.empty()) {
     const std::string doc = obs::MetricsRegistry::global().snapshot_json();
     std::FILE* f = std::fopen(metrics_path.c_str(), "w");

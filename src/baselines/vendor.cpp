@@ -170,6 +170,21 @@ BaselineResult run_baseline(VendorLib lib, const models::Model& model,
   const Profile prof = profile_for(lib);
   const sim::DeviceSpec& gpu = platform.gpu;
   double ms = 0.0;
+  // One tagged trace event per costed op. The vendor model is analytic, so
+  // the charge is opaque to the counter layer (fully serialized,
+  // latency-bound), but lane and category are real: they drive the same
+  // per-lane rollups the executor's trace feeds.
+  const auto charge = [&](double op_ms, sim::Lane lane, sim::OpCategory cat,
+                          const std::string& name) {
+    ms += op_ms;
+    sim::KernelCounters c;
+    c.launches = 1;
+    c.ms = op_ms;
+    c.overhead_ms = op_ms;
+    c.occupancy = 1.0;
+    c.bound = sim::BoundKind::kLatency;
+    result.events.push_back({name, op_ms, lane, cat, 0, c});
+  };
   for (const auto& n : model.graph.nodes()) {
     switch (n.kind) {
       case graph::OpKind::kInput:
@@ -177,26 +192,30 @@ BaselineResult run_baseline(VendorLib lib, const models::Model& model,
       case graph::OpKind::kFlatten:
         break;
       case graph::OpKind::kConv2d:
-        ms += conv_latency(prof, n.conv, gpu) + prof.per_op_ms;
+        charge(conv_latency(prof, n.conv, gpu) + prof.per_op_ms,
+               sim::Lane::kGpu, sim::OpCategory::kConv, n.name);
         break;
       case graph::OpKind::kConv2dTranspose: {
         // Vendor stacks run deconvolution as a regular conv after input
         // dilation; charge the same profile at the deconv's FLOPs.
         const double eff = n.deconv.out_channels < 64 ? prof.conv_narrow
                                                       : prof.conv_regular;
-        ms += static_cast<double>(n.deconv.flops()) /
-                  (gpu.peak_gflops * 1e9 * eff) * 1e3 +
-              prof.per_op_ms;
+        charge(static_cast<double>(n.deconv.flops()) /
+                       (gpu.peak_gflops * 1e9 * eff) * 1e3 +
+                   prof.per_op_ms,
+               sim::Lane::kGpu, sim::OpCategory::kConv, n.name);
         break;
       }
       case graph::OpKind::kDense:
-        ms += elementwise_latency(prof, n.dense.flops() / 2, 2, gpu) +
-              prof.per_op_ms;
+        charge(elementwise_latency(prof, n.dense.flops() / 2, 2, gpu) +
+                   prof.per_op_ms,
+               sim::Lane::kGpu, sim::OpCategory::kOther, n.name);
         break;
       case graph::OpKind::kScaleShift:
       case graph::OpKind::kActivation:
         // Vendor stacks fuse these into the conv; only framework overhead.
-        ms += prof.per_op_ms * 0.2;
+        charge(prof.per_op_ms * 0.2, sim::Lane::kGpu, sim::OpCategory::kOther,
+               n.name);
         break;
       case graph::OpKind::kAdd:
       case graph::OpKind::kConcat:
@@ -204,32 +223,40 @@ BaselineResult run_baseline(VendorLib lib, const models::Model& model,
       case graph::OpKind::kGlobalAvgPool:
       case graph::OpKind::kSoftmax:
       case graph::OpKind::kUpsample2x:
-        ms += elementwise_latency(prof, n.out_shape.numel(), 2, gpu) +
-              prof.per_op_ms;
+        charge(elementwise_latency(prof, n.out_shape.numel(), 2, gpu) +
+                   prof.per_op_ms,
+               sim::Lane::kGpu, sim::OpCategory::kOther, n.name);
         break;
       case graph::OpKind::kSsdDetection:
       case graph::OpKind::kMultiboxDetection:
       case graph::OpKind::kBoxNms:
-        ms += vision_latency(prof, n.out_shape[1], n.out_shape[0], platform);
+        // ACL/OpenVINO run the vision block on the host CPU (with the copies
+        // folded into the same analytic charge); MXNet keeps it on the GPU.
+        charge(vision_latency(prof, n.out_shape[1], n.out_shape[0], platform),
+               prof.vision_on_cpu ? sim::Lane::kCpu : sim::Lane::kGpu,
+               sim::OpCategory::kVision, n.name);
         break;
       case graph::OpKind::kYoloDecode:
-        ms += elementwise_latency(prof,
-                                  n.out_shape[1] * (5 + n.yolo.num_classes), 6,
-                                  gpu) +
-              prof.per_op_ms;
+        charge(elementwise_latency(
+                   prof, n.out_shape[1] * (5 + n.yolo.num_classes), 6, gpu) +
+                   prof.per_op_ms,
+               sim::Lane::kGpu, sim::OpCategory::kVision, n.name);
         break;
       case graph::OpKind::kDetectionConcat:
-        ms += elementwise_latency(prof, n.out_shape.numel(), 1, gpu);
+        charge(elementwise_latency(prof, n.out_shape.numel(), 1, gpu),
+               sim::Lane::kGpu, sim::OpCategory::kVision, n.name);
         break;
       case graph::OpKind::kRoiAlign:
         // Vendor stacks run ROIAlign suboptimally on GPU or on the CPU
         // (Sec. 1); approximate with the elementwise profile at 40 flops
         // per output sample.
-        ms += elementwise_latency(prof, n.out_shape.numel() * 5, 8, gpu) +
-              prof.per_op_ms;
+        charge(elementwise_latency(prof, n.out_shape.numel() * 5, 8, gpu) +
+                   prof.per_op_ms,
+               sim::Lane::kGpu, sim::OpCategory::kVision, n.name);
         break;
       case graph::OpKind::kDeviceCopy:
-        ms += sim::copy_latency_ms(gpu, n.out_shape.numel() * 4);
+        charge(sim::copy_latency_ms(gpu, n.out_shape.numel() * 4),
+               sim::Lane::kCopy, sim::OpCategory::kCopy, n.name);
         break;
     }
   }

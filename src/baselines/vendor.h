@@ -16,9 +16,11 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/rng.h"
 #include "models/models.h"
+#include "sim/clock.h"
 #include "sim/device_spec.h"
 
 namespace igc::baselines {
@@ -31,6 +33,11 @@ struct BaselineResult {
   bool supported = true;
   std::string unsupported_reason;
   double latency_ms = 0.0;
+  /// One charge per costed operator, tagged with the lane the vendor stack
+  /// actually runs it on (vision ops land on the CPU lane under OpenVINO /
+  /// ACL, copies on the copy engine) so per-lane rollups of baseline runs
+  /// attribute time like the executor's do.
+  std::vector<sim::ClockEvent> events;
 };
 
 /// End-to-end latency of `model` under the emulated vendor stack on

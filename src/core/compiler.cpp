@@ -28,6 +28,7 @@ CompiledModel compile(models::Model model, const sim::Platform& platform,
     tune::TuneOptions topts;
     topts.n_trials = opts.tune_trials;
     topts.strategy = opts.strategy;
+    topts.journal = opts.tune_journal;
     const graphtune::GraphTuneResult layouts =
         graphtune::tune_graph_layouts(cm.graph_, platform.gpu, cm.db_, topts);
     cm.layouts_ = layouts.layout_of_conv;
@@ -82,6 +83,7 @@ RunResult CompiledModel::run(const RunOptions& opts) const {
   out.other_ms = r.other_ms;
   out.peak_intermediate_bytes = r.peak_intermediate_bytes;
   out.arena_bytes = r.arena_bytes;
+  out.counters = r.counters;
   return out;
 }
 

@@ -43,6 +43,10 @@ struct CompileOptions {
   const tune::TuneDb* warm_db = nullptr;
   /// Skip tuning entirely: run the hand-written templates (for comparisons).
   bool skip_tuning = false;
+  /// When set, every tuning trial compile() measures is appended to this
+  /// flight recorder (one record per trial: config, measured ms, predicted
+  /// ms, best-so-far — see tune/journal.h). Must outlive the call.
+  tune::TuneJournal* tune_journal = nullptr;
 
   // --- graph pass pipeline (see graph/pass_manager.h) ---------------------
   /// Explicit pass order; empty runs graph::default_pass_names(). Unknown
@@ -97,6 +101,9 @@ struct RunResult {
   int64_t peak_intermediate_bytes = 0;
   /// Capacity of the serving arena (0 when use_arena is off).
   int64_t arena_bytes = 0;
+  /// Hardware counters merged over every charge of the run (occupancy,
+  /// achieved GFLOPS / GB/s, bound classification — see sim/timing_model.h).
+  sim::KernelCounters counters;
 };
 
 class CompiledModel {

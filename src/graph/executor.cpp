@@ -422,6 +422,9 @@ class ExecutorImpl {
       const double end = lanes.schedule(lane_of(n), ready, r.ms);
       finish[static_cast<size_t>(n.id)] = end;
       if (opts_.trace != nullptr) record_span(n, r, end);
+      for (const sim::ClockEvent& e : r.events) {
+        result.counters.merge(e.counters);
+      }
       result.events.insert(result.events.end(), r.events.begin(),
                            r.events.end());
     }
@@ -461,7 +464,10 @@ class ExecutorImpl {
     s.host_thread = r.host_thread;
     s.shape = n.out_shape.str();
     s.layout_block = layout_block_[static_cast<size_t>(n.id)];
-    for (const sim::ClockEvent& e : r.events) s.bytes += e.bytes;
+    for (const sim::ClockEvent& e : r.events) {
+      s.bytes += e.bytes;
+      s.counters.merge(e.counters);
+    }
     s.schedule = r.schedule;
     opts_.trace->record(std::move(s));
   }
@@ -479,6 +485,14 @@ class ExecutorImpl {
     static auto& copies = m.counter("exec.copies");
     static auto& copy_bytes = m.counter("exec.copy_bytes");
     static auto& node_us = m.histogram("exec.node_us");
+    static auto& sim_launches = m.counter("sim.launches");
+    static auto& sim_flops = m.counter("sim.flops");
+    static auto& sim_dram = m.counter("sim.dram_bytes");
+    static auto& sim_compute_bound = m.counter("sim.compute_bound_launches");
+    static auto& sim_bandwidth_bound =
+        m.counter("sim.bandwidth_bound_launches");
+    static auto& sim_latency_bound = m.counter("sim.latency_bound_launches");
+    static auto& sim_occ_pct = m.histogram("sim.launch_occupancy_pct");
     runs.add(1);
     for (const Node& n : g_.nodes()) {
       if (!live(n.id)) continue;
@@ -494,6 +508,18 @@ class ExecutorImpl {
       if (e.category == sim::OpCategory::kCopy) {
         copies.add(1);
         copy_bytes.add(e.bytes);
+      }
+      if (e.counters.launches > 0) {
+        sim_launches.add(e.counters.launches);
+        sim_flops.add(e.counters.flops);
+        sim_dram.add(e.counters.dram_bytes);
+        switch (e.counters.bound) {
+          case sim::BoundKind::kCompute: sim_compute_bound.add(1); break;
+          case sim::BoundKind::kBandwidth: sim_bandwidth_bound.add(1); break;
+          case sim::BoundKind::kLatency: sim_latency_bound.add(1); break;
+        }
+        sim_occ_pct.observe(
+            static_cast<int64_t>(e.counters.occupancy * 100.0));
       }
     }
   }
@@ -608,10 +634,8 @@ class ExecutorImpl {
   void charge_elementwise(NodeCtx& cx, const Node& n, int64_t numel,
                           int inputs_per_elem, int64_t flops_per_elem) {
     if (n.place == Place::kCpu) {
-      cx.clock.charge_fixed(
-          sim::cpu_latency_ms(platform_.cpu, numel * flops_per_elem,
-                              4 * numel * (inputs_per_elem + 1), 0.9),
-          n.name);
+      cx.clock.charge_cpu(platform_.cpu, numel * flops_per_elem,
+                          4 * numel * (inputs_per_elem + 1), 0.9, n.name);
     } else {
       cx.clock.charge(platform_.gpu,
                       ops::elementwise_kernel_cost(n.name, numel,
@@ -635,7 +659,10 @@ class ExecutorImpl {
       k.work_items = numel;
       k.work_group_size = 64;
       k.compute_efficiency = 0.6;
-      cx.clock.charge(platform_.gpu, k);
+      // A layout transform is a GPU kernel whoever consumes its output:
+      // charge it on the GPU lane explicitly so transforms feeding a
+      // CPU-placed node don't book as CPU-lane time.
+      cx.clock.charge_on(sim::Lane::kGpu, platform_.gpu, k);
     }
   }
 
@@ -702,10 +729,8 @@ class ExecutorImpl {
       case OpKind::kConv2dTranspose: {
         charge_layout_edges(cx, n, 1);
         if (n.place == Place::kCpu) {
-          cx.clock.charge_fixed(
-              sim::cpu_latency_ms(platform_.cpu, n.deconv.flops(),
-                                  n.weight.nbytes(), 0.9),
-              n.name);
+          cx.clock.charge_cpu(platform_.cpu, n.deconv.flops(),
+                              n.weight.nbytes(), 0.9, n.name);
         } else {
           cx.clock.charge(platform_.gpu,
                           ops::conv2d_transpose_kernel_cost(n.deconv,
@@ -778,10 +803,8 @@ class ExecutorImpl {
       case OpKind::kDense: {
         charge_layout_edges(cx, n, 1);
         if (n.place == Place::kCpu) {
-          cx.clock.charge_fixed(
-              sim::cpu_latency_ms(platform_.cpu, n.dense.flops(),
-                                  n.weight.nbytes(), 0.9),
-              n.name);
+          cx.clock.charge_cpu(platform_.cpu, n.dense.flops(),
+                              n.weight.nbytes(), 0.9, n.name);
         } else {
           cx.clock.charge(platform_.gpu,
                           ops::dense_kernel_cost(n.dense, platform_.gpu));
@@ -839,10 +862,8 @@ class ExecutorImpl {
         Tensor out;
         if (n.place == Place::kCpu) {
           out = ops::yolo_decode_reference(head, n.yolo);
-          cx.clock.charge_fixed(
-              sim::cpu_latency_ms(platform_.cpu, head.numel() * 8,
-                                  head.nbytes(), 0.9),
-              n.name);
+          cx.clock.charge_cpu(platform_.cpu, head.numel() * 8, head.nbytes(),
+                              0.9, n.name);
         } else {
           out = ops::yolo_decode_gpu(cx.gpu, head, n.yolo);
         }
@@ -905,10 +926,8 @@ class ExecutorImpl {
         Tensor out;
         if (n.place == Place::kCpu) {
           out = ops::roi_align_reference(feats, rois, n.roi);
-          cx.clock.charge_fixed(
-              sim::cpu_latency_ms(platform_.cpu, n.out_shape.numel() * 40,
-                                  feats.nbytes(), 0.9),
-              n.name);
+          cx.clock.charge_cpu(platform_.cpu, n.out_shape.numel() * 40,
+                              feats.nbytes(), 0.9, n.name);
         } else {
           out = ops::roi_align_gpu(cx.gpu, feats, rois, n.roi);
         }
@@ -954,9 +973,8 @@ class ExecutorImpl {
               }();
     if (opts_.trace != nullptr) cx.schedule = cfg.str();
     if (n.place == Place::kCpu) {
-      cx.clock.charge_fixed(sim::cpu_latency_ms(platform_.cpu, n.conv.flops(),
-                                                n.conv.min_bytes(), 0.9),
-                            n.name);
+      cx.clock.charge_cpu(platform_.cpu, n.conv.flops(), n.conv.min_bytes(),
+                          0.9, n.name);
     } else {
       sim::KernelLaunch k = ops::conv2d_kernel_cost(n.conv, cfg, platform_.gpu);
       if (n.fused_scale_shift) k.flops += 2 * n.out_shape.numel();
@@ -990,10 +1008,8 @@ class ExecutorImpl {
       const int64_t sort_flops = static_cast<int64_t>(
           static_cast<double>(count) *
           std::log2(static_cast<double>(count) + 2.0) * 4.0);
-      cx.clock.charge_fixed(
-          sim::cpu_latency_ms(platform_.cpu, evals * 16 + sort_flops,
-                              decoded.nbytes() * 2, 0.3),
-          n.name + "_nms_cpu");
+      cx.clock.charge_cpu(platform_.cpu, evals * 16 + sort_flops,
+                          decoded.nbytes() * 2, 0.3, n.name + "_nms_cpu");
       return out;
     }
     if (opts_.optimized_vision_ops) {
@@ -1032,10 +1048,9 @@ class ExecutorImpl {
     const Tensor decoded =
         ops::multibox_decode_reference(cls, loc, n.anchors, n.mbox);
     if (n.place == Place::kCpu) {
-      cx.clock.charge_fixed(
-          sim::cpu_latency_ms(platform_.cpu, cls.numel() * 4,
-                              cls.nbytes() + loc.nbytes(), 0.8),
-          n.name + "_decode_cpu");
+      cx.clock.charge_cpu(platform_.cpu, cls.numel() * 4,
+                          cls.nbytes() + loc.nbytes(), 0.8,
+                          n.name + "_decode_cpu");
     } else {
       cx.gpu.launch_elementwise("multibox_decode",
                                 cls.shape()[0] * n.anchors.shape()[0],
@@ -1113,10 +1128,9 @@ class ExecutorImpl {
     const Tensor decoded =
         ops::multibox_decode_reference(cls_prob, loc_pred, n.anchors, n.mbox);
     if (n.place == Place::kCpu) {
-      cx.clock.charge_fixed(
-          sim::cpu_latency_ms(platform_.cpu, cls_prob.numel() * 4,
-                              cls_prob.nbytes() + loc_pred.nbytes(), 0.8),
-          n.name + "_decode_cpu");
+      cx.clock.charge_cpu(platform_.cpu, cls_prob.numel() * 4,
+                          cls_prob.nbytes() + loc_pred.nbytes(), 0.8,
+                          n.name + "_decode_cpu");
     } else {
       cx.gpu.launch_elementwise("ssd_decode", bsz * total, [](int64_t) {},
                                 2 * c1 + 20, 4 * (c1 + 8));
@@ -1135,14 +1149,12 @@ class ExecutorImpl {
       int64_t evals = 0;
       out = ops::box_nms_reference_counted(in, n.nms, &evals);
       const int64_t count = in.shape()[0] * in.shape()[1];
-      cx.clock.charge_fixed(
-          sim::cpu_latency_ms(
-              platform_.cpu,
-              evals * 16 +
-                  static_cast<int64_t>(static_cast<double>(count) *
-                                       std::log2(static_cast<double>(count) + 2.0) * 4.0),
-              in.nbytes() * 2, 0.3),
-          n.name);
+      cx.clock.charge_cpu(
+          platform_.cpu,
+          evals * 16 +
+              static_cast<int64_t>(static_cast<double>(count) *
+                                   std::log2(static_cast<double>(count) + 2.0) * 4.0),
+          in.nbytes() * 2, 0.3, n.name);
     } else if (opts_.optimized_vision_ops) {
       out = ops::box_nms_gpu(cx.gpu, in, n.nms);
     } else {

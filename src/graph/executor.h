@@ -112,6 +112,9 @@ struct ExecResult {
   /// Capacity of the arena used (0 when use_arena is off).
   int64_t arena_bytes = 0;
   std::vector<sim::ClockEvent> events;
+  /// Hardware counters merged over every charge of the run (so counters.ms
+  /// equals serial_ms up to summation order).
+  sim::KernelCounters counters;
 };
 
 /// Executes `g` on `platform`. `input_rng` seeds the synthetic model input

@@ -115,6 +115,8 @@ std::string TraceRecorder::chrome_trace_json() const {
   }
 
   char buf[256];
+  double counters_end_ms = 0.0;
+  bool have_counters = false;
   for (const TraceSpan& s : spans_) {
     // Simulated lane span.
     std::snprintf(buf, sizeof(buf),
@@ -133,11 +135,42 @@ std::string TraceRecorder::chrome_trace_json() const {
     char bbuf[32];
     std::snprintf(bbuf, sizeof(bbuf), "%" PRId64, s.bytes);
     ev += R"("bytes": )" + std::string(bbuf);
+    if (s.counters.launches > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    R"(, "bound": "%s", "occupancy": %.4f, )"
+                    R"("achieved_gflops": %.3f, "achieved_gbps": %.3f)",
+                    std::string(sim::bound_name(s.counters.bound)).c_str(),
+                    s.counters.occupancy, s.counters.achieved_gflops(),
+                    s.counters.achieved_gbps());
+      ev += buf;
+    }
     if (!s.schedule.empty()) {
       ev += R"(, "schedule": ")" + json::escape(s.schedule) + R"(")";
     }
     ev += "}}";
     append_event(out, ev, first);
+
+    // Counter tracks: one sample per span at its start, so Perfetto draws
+    // the step function of what the simulated hardware was sustaining.
+    if (s.counters.launches > 0) {
+      have_counters = true;
+      counters_end_ms = std::max(counters_end_ms, s.sim_end_ms);
+      const struct {
+        const char* track;
+        double value;
+      } samples[] = {
+          {"occupancy", s.counters.occupancy},
+          {"achieved GFLOPS", s.counters.achieved_gflops()},
+          {"DRAM GB/s", s.counters.achieved_gbps()},
+      };
+      for (const auto& c : samples) {
+        std::snprintf(buf, sizeof(buf),
+                      R"({"ph": "C", "pid": %d, "name": "%s", "ts": %.6f, )"
+                      R"("args": {"value": %.4f}})",
+                      kSimPid, c.track, s.sim_start_ms * 1000.0, c.value);
+        append_event(out, buf, first);
+      }
+    }
 
     // Host dispatch span (wall clock on the scheduler thread that ran it).
     if (s.host_end_us > s.host_start_us) {
@@ -152,6 +185,16 @@ std::string TraceRecorder::chrome_trace_json() const {
       hev += buf;
       hev += "}";
       append_event(out, hev, first);
+    }
+  }
+  // Close the counter tracks: a zero sample after the last counted span.
+  if (have_counters) {
+    for (const char* track : {"occupancy", "achieved GFLOPS", "DRAM GB/s"}) {
+      std::snprintf(buf, sizeof(buf),
+                    R"({"ph": "C", "pid": %d, "name": "%s", "ts": %.6f, )"
+                    R"("args": {"value": 0}})",
+                    kSimPid, track, counters_end_ms * 1000.0);
+      append_event(out, buf, first);
     }
   }
   out += "\n]}\n";

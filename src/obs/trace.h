@@ -35,7 +35,9 @@ struct TraceMeta {
   std::string platform;
   std::string mode;  // "sequential" | "wavefront"
   bool arena = false;
-  int schema_version = 1;
+  /// v2: spans carry merged KernelCounters; the Chrome export adds counter
+  /// tracks (occupancy / achieved GFLOPS / achieved GB/s).
+  int schema_version = 2;
 };
 
 /// One executed graph node.
@@ -58,6 +60,10 @@ struct TraceSpan {
   int layout_block = 1;  // conv layout block (1 = NCHW)
   int64_t bytes = 0;     // bytes moved (DRAM + copy traffic)
   std::string schedule;  // chosen ScheduleConfig (convs on traced runs)
+  /// Hardware counters merged over every charge the node issued (so
+  /// counters.ms equals the span duration, and per-launch records sum to
+  /// this node aggregate).
+  sim::KernelCounters counters;
 };
 
 class TraceRecorder {

@@ -57,10 +57,15 @@ struct ClockEvent {
   /// Lane the charge serializes on, the owning node's cost category, and the
   /// bytes the charge moves (DRAM traffic for kernels, transfer size for
   /// copies). Default-initialized, so `{name, ms}` construction keeps
-  /// working for callers that predate these fields.
+  /// working for callers that predate these fields — but audit such call
+  /// sites: a default-tagged event lands on the GPU lane in the "other"
+  /// category, which misattributes per-lane counter rollups.
   Lane lane = Lane::kGpu;
   OpCategory category = OpCategory::kOther;
   int64_t bytes = 0;
+  /// Per-launch hardware counters (counters.ms == ms for charges produced
+  /// by SimClock; zero-initialized for hand-built events).
+  KernelCounters counters;
 };
 
 class SimClock {
@@ -74,29 +79,55 @@ class SimClock {
     category_ = category;
   }
 
-  /// Charges the latency of `k` on `dev` and records a trace event.
+  /// Charges the latency of `k` on `dev` and records a trace event carrying
+  /// the launch's counter record.
   double charge(const DeviceSpec& dev, const KernelLaunch& k) {
-    const double ms = estimate_latency_ms(dev, k);
-    total_ms_ += ms;
-    events_.push_back(
-        {k.name, ms, lane_, category_, k.dram_read_bytes + k.dram_write_bytes});
-    return ms;
+    return charge_on(lane_, dev, k);
+  }
+
+  /// charge() with an explicit lane: for GPU kernels issued on behalf of a
+  /// node whose own work runs elsewhere (layout transforms feeding a
+  /// CPU-placed consumer stay GPU-lane charges).
+  double charge_on(Lane lane, const DeviceSpec& dev, const KernelLaunch& k) {
+    const KernelCounters c = estimate_launch(dev, k);
+    total_ms_ += c.ms;
+    events_.push_back({k.name, c.ms, lane, category_,
+                       k.dram_read_bytes + k.dram_write_bytes, c});
+    return c.ms;
+  }
+
+  /// Charges a section on the companion CPU (Amdahl model). Always lands on
+  /// the CPU lane, whatever the current tags.
+  double charge_cpu(const DeviceSpec& cpu, int64_t flops, int64_t bytes,
+                    double parallel_fraction, const std::string& name) {
+    const KernelCounters c = cpu_counters(cpu, flops, bytes, parallel_fraction);
+    total_ms_ += c.ms;
+    events_.push_back({name, c.ms, Lane::kCpu, category_, bytes, c});
+    return c.ms;
   }
 
   /// Charges a host<->device copy. Copies always serialize on the copy
   /// engine and count toward the copy category, whatever the current tags.
   double charge_copy(const DeviceSpec& dev, int64_t bytes,
                      const std::string& name = "device_copy") {
-    const double ms = copy_latency_ms(dev, bytes);
-    total_ms_ += ms;
-    events_.push_back({name, ms, Lane::kCopy, OpCategory::kCopy, bytes});
-    return ms;
+    const KernelCounters c = copy_counters(dev, bytes);
+    total_ms_ += c.ms;
+    events_.push_back({name, c.ms, Lane::kCopy, OpCategory::kCopy, bytes, c});
+    return c.ms;
   }
 
-  /// Charges a fixed amount (used by CPU-side sequential sections).
+  /// Charges a fixed amount (single-lane sequential sections whose cost was
+  /// computed outside the roofline model). The charge is opaque to the
+  /// counter layer: it books as a fully-serialized, latency-bound section.
   void charge_fixed(double ms, const std::string& name) {
     total_ms_ += ms;
-    events_.push_back({name, ms, lane_, category_, 0});
+    KernelCounters c;
+    c.launches = 1;
+    c.ms = ms;
+    c.overhead_ms = ms;
+    c.occupancy = 1.0;
+    c.bound = BoundKind::kLatency;
+    events_.push_back({name, ms, lane_, category_, 0, c});
   }
 
   double total_ms() const { return total_ms_; }

@@ -30,7 +30,7 @@ double occupancy(const DeviceSpec& dev, int64_t work_items, int work_group_size)
   return unit_fill * lane_fill * latency_hiding;
 }
 
-double estimate_latency_ms(const DeviceSpec& dev, const KernelLaunch& k) {
+KernelCounters estimate_launch(const DeviceSpec& dev, const KernelLaunch& k) {
   const double occ = occupancy(dev, k.work_items, k.work_group_size);
   const double eff = std::max(
       1e-4, k.compute_efficiency * occ * dev.efficiency_scale);
@@ -41,11 +41,31 @@ double estimate_latency_ms(const DeviceSpec& dev, const KernelLaunch& k) {
       (dev.dram_bandwidth_gbps * 1e9);
   const double overhead_s =
       (dev.kernel_launch_us + dev.global_sync_us * k.num_global_syncs) * 1e-6;
-  return (std::max(compute_s, mem_s) + overhead_s) * 1e3;
+
+  KernelCounters c;
+  c.launches = 1;
+  c.flops = k.flops;
+  c.dram_bytes = k.dram_read_bytes + k.dram_write_bytes;
+  c.ms = (std::max(compute_s, mem_s) + overhead_s) * 1e3;
+  c.compute_ms = compute_s * 1e3;
+  c.memory_ms = mem_s * 1e3;
+  // The part of compute_ms that divergence added on top of the converged
+  // inner loop (divergence_factor >= 1, so this is >= 0).
+  c.divergence_ms = k.divergence_factor > 0.0
+                        ? c.compute_ms * (1.0 - 1.0 / k.divergence_factor)
+                        : 0.0;
+  c.overhead_ms = overhead_s * 1e3;
+  c.occupancy = occ;
+  c.bound = KernelCounters::classify(c.compute_ms, c.memory_ms, c.overhead_ms);
+  return c;
 }
 
-double cpu_latency_ms(const DeviceSpec& cpu, int64_t flops, int64_t bytes,
-                      double parallel_fraction) {
+double estimate_latency_ms(const DeviceSpec& dev, const KernelLaunch& k) {
+  return estimate_launch(dev, k).ms;
+}
+
+KernelCounters cpu_counters(const DeviceSpec& cpu, int64_t flops,
+                            int64_t bytes, double parallel_fraction) {
   IGC_CHECK(!cpu.is_gpu);
   parallel_fraction = std::clamp(parallel_fraction, 0.0, 1.0);
   const double per_core_gflops =
@@ -58,15 +78,47 @@ double cpu_latency_ms(const DeviceSpec& cpu, int64_t flops, int64_t bytes,
       std::max(rate, 1.0);
   const double mem_s =
       static_cast<double>(bytes) / (cpu.dram_bandwidth_gbps * 1e9);
-  return (std::max(compute_s, mem_s) + cpu.kernel_launch_us * 1e-6) * 1e3;
+  const double overhead_s = cpu.kernel_launch_us * 1e-6;
+
+  KernelCounters c;
+  c.launches = 1;
+  c.flops = flops;
+  c.dram_bytes = bytes;
+  c.ms = (std::max(compute_s, mem_s) + overhead_s) * 1e3;
+  c.compute_ms = compute_s * 1e3;
+  c.memory_ms = mem_s * 1e3;
+  c.overhead_ms = overhead_s * 1e3;
+  // A CPU section has no launch geometry; the serial fraction is already in
+  // compute_ms, so the engine itself counts as fully occupied.
+  c.occupancy = 1.0;
+  c.bound = KernelCounters::classify(c.compute_ms, c.memory_ms, c.overhead_ms);
+  return c;
 }
 
-double copy_latency_ms(const DeviceSpec& dev, int64_t bytes) {
+double cpu_latency_ms(const DeviceSpec& cpu, int64_t flops, int64_t bytes,
+                      double parallel_fraction) {
+  return cpu_counters(cpu, flops, bytes, parallel_fraction).ms;
+}
+
+KernelCounters copy_counters(const DeviceSpec& dev, int64_t bytes) {
   // Same-SoC shared DRAM: a copy is a memcpy through the memory controller.
   const double fixed_us = 8.0;
   const double xfer_s =
       static_cast<double>(bytes) / (dev.dram_bandwidth_gbps * 1e9);
-  return fixed_us * 1e-3 + xfer_s * 1e3;
+
+  KernelCounters c;
+  c.launches = 1;
+  c.dram_bytes = bytes;
+  c.ms = fixed_us * 1e-3 + xfer_s * 1e3;
+  c.memory_ms = xfer_s * 1e3;
+  c.overhead_ms = fixed_us * 1e-3;
+  c.occupancy = 1.0;
+  c.bound = KernelCounters::classify(c.compute_ms, c.memory_ms, c.overhead_ms);
+  return c;
+}
+
+double copy_latency_ms(const DeviceSpec& dev, int64_t bytes) {
+  return copy_counters(dev, bytes).ms;
 }
 
 }  // namespace igc::sim

@@ -1,15 +1,18 @@
 // Analytic latency model for simulated kernel launches.
 //
 // This replaces the wall clock of the paper's physical devices. Each kernel
-// launch is summarized as a KernelLaunch cost descriptor; estimate_latency_ms
+// launch is summarized as a KernelLaunch cost descriptor; estimate_launch
 // applies a roofline model (compute vs DRAM bound) modulated by the schedule-
 // dependent quality factors the paper's optimizations manipulate: occupancy,
 // SIMD utilization, register-tile efficiency, branch divergence, and global
-// synchronization count.
+// synchronization count — and returns not just the latency but the full
+// KernelCounters record a hardware profiler would report for the launch.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "sim/device_spec.h"
 
@@ -35,21 +38,107 @@ struct KernelLaunch {
   int num_global_syncs = 0;
 };
 
+/// Which roofline term dominated a charge: ALU throughput, DRAM bandwidth,
+/// or fixed launch/sync overhead (the relaunch tax of Sec. 3.2 — dominant
+/// only for tiny kernels).
+enum class BoundKind { kCompute = 0, kBandwidth = 1, kLatency = 2 };
+inline constexpr int kNumBoundKinds = 3;
+
+inline std::string_view bound_name(BoundKind b) {
+  switch (b) {
+    case BoundKind::kCompute: return "compute";
+    case BoundKind::kBandwidth: return "bandwidth";
+    case BoundKind::kLatency: return "latency";
+  }
+  return "?";
+}
+
+/// The per-launch record a hardware profiler would report, derived from the
+/// same arithmetic that produces the latency (so the two can never drift
+/// apart). Also used as an additive aggregate: merge() sums the work and
+/// time terms and keeps a time-weighted occupancy, so node- and run-level
+/// rollups are just folds over the launch records.
+struct KernelCounters {
+  int64_t launches = 0;
+  int64_t flops = 0;
+  int64_t dram_bytes = 0;  // read + write DRAM traffic
+  /// Total charged time and its roofline decomposition. ms is the charge
+  /// (max(compute, memory) roofline term + overhead); compute_ms/memory_ms
+  /// are the two candidate terms themselves, so the dominant one plus
+  /// overhead_ms reproduces ms.
+  double ms = 0.0;
+  double compute_ms = 0.0;     // flops / achievable rate, incl. divergence
+  double memory_ms = 0.0;      // dram_bytes / bandwidth
+  double divergence_ms = 0.0;  // extra serialization inside compute_ms
+  double overhead_ms = 0.0;    // kernel launch + global syncs
+  /// Time-weighted mean launch occupancy, in (0, 1] (1.0 for charges with
+  /// no launch geometry: copies, CPU sections, fixed charges).
+  double occupancy = 0.0;
+  /// The dominating roofline term (recomputed from the sums on merge).
+  BoundKind bound = BoundKind::kLatency;
+
+  double achieved_gflops() const {
+    return ms > 0.0 ? static_cast<double>(flops) / (ms * 1e6) : 0.0;
+  }
+  double achieved_gbps() const {
+    return ms > 0.0 ? static_cast<double>(dram_bytes) / (ms * 1e6) : 0.0;
+  }
+  /// Flops per DRAM byte — the roofline x-axis.
+  double arithmetic_intensity() const {
+    return dram_bytes > 0
+               ? static_cast<double>(flops) / static_cast<double>(dram_bytes)
+               : 0.0;
+  }
+
+  /// Classification rule shared by per-launch records and merged
+  /// aggregates: overhead dominating the winning roofline term means the
+  /// charge is latency-bound; otherwise whichever of compute/memory won.
+  static BoundKind classify(double compute_ms, double memory_ms,
+                            double overhead_ms) {
+    const double roof = compute_ms >= memory_ms ? compute_ms : memory_ms;
+    if (overhead_ms > roof) return BoundKind::kLatency;
+    return compute_ms >= memory_ms ? BoundKind::kCompute
+                                   : BoundKind::kBandwidth;
+  }
+
+  /// Folds `o` into this aggregate.
+  void merge(const KernelCounters& o) {
+    const double t = ms + o.ms;
+    occupancy = t > 0.0 ? (occupancy * ms + o.occupancy * o.ms) / t
+                        : std::max(occupancy, o.occupancy);
+    launches += o.launches;
+    flops += o.flops;
+    dram_bytes += o.dram_bytes;
+    ms = t;
+    compute_ms += o.compute_ms;
+    memory_ms += o.memory_ms;
+    divergence_ms += o.divergence_ms;
+    overhead_ms += o.overhead_ms;
+    bound = classify(compute_ms, memory_ms, overhead_ms);
+  }
+};
+
 /// Fraction of the device's lanes kept busy by this launch geometry.
 double occupancy(const DeviceSpec& dev, int64_t work_items, int work_group_size);
 
-/// Latency of one launch in milliseconds.
+/// Full counter record (including the latency, in .ms) of one launch.
+KernelCounters estimate_launch(const DeviceSpec& dev, const KernelLaunch& k);
+
+/// Latency of one launch in milliseconds (== estimate_launch(dev, k).ms).
 double estimate_latency_ms(const DeviceSpec& dev, const KernelLaunch& k);
 
-/// Latency of a host<->device copy of `bytes` bytes. Integrated GPUs share
-/// DRAM with the CPU, so this is bandwidth-bound with a small fixed cost —
-/// the reason the paper's CPU fallback is nearly free (Sec. 3.1.2).
+/// Counter record of a host<->device copy of `bytes` bytes. Integrated GPUs
+/// share DRAM with the CPU, so this is bandwidth-bound with a small fixed
+/// cost — the reason the paper's CPU fallback is nearly free (Sec. 3.1.2).
+KernelCounters copy_counters(const DeviceSpec& dev, int64_t bytes);
 double copy_latency_ms(const DeviceSpec& dev, int64_t bytes);
 
-/// Latency of running `flops` of work touching `bytes` of memory on the
-/// companion CPU, with `parallel_fraction` of the work parallelizable across
-/// its cores (Amdahl). Used for fallback ops (Sec. 3.1.2) and for the
+/// Counter record of running `flops` of work touching `bytes` of memory on
+/// the companion CPU, with `parallel_fraction` of the work parallelizable
+/// across its cores (Amdahl). Used for fallback ops (Sec. 3.1.2) and for the
 /// untuned-CPU comparison points.
+KernelCounters cpu_counters(const DeviceSpec& cpu, int64_t flops,
+                            int64_t bytes, double parallel_fraction);
 double cpu_latency_ms(const DeviceSpec& cpu, int64_t flops, int64_t bytes,
                       double parallel_fraction);
 

@@ -14,7 +14,11 @@ TuneRecord tune_conv2d(const ops::Conv2dParams& p, const sim::DeviceSpec& dev,
     with_layout.set("layout_block", layout_block);
     return ops::conv2d_latency_ms(p, with_layout, dev);
   };
-  const TuneResult r = tune(space, measure, opts);
+  // Journaled trials are keyed by the same (device, workload, layout) key
+  // the TuneDb stores the winner under.
+  TuneOptions jopts = opts;
+  jopts.journal_task = key;
+  const TuneResult r = tune(space, measure, jopts);
 
   // The pre-tuning anchor is the hand-written template (Table 5 "Before");
   // the search result never regresses below it.

@@ -1,0 +1,161 @@
+#include "tune/journal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "core/error.h"
+#include "obs/json.h"
+
+namespace igc::tune {
+namespace {
+
+/// Shortest decimal form that parses back to exactly the same double.
+std::string round_trip_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double back = 0.0;
+  std::sscanf(buf, "%lf", &back);
+  if (back == v) {
+    // Try trimming to the shortest exact representation.
+    for (int prec = 1; prec < 17; ++prec) {
+      char t[64];
+      std::snprintf(t, sizeof(t), "%.*g", prec, v);
+      std::sscanf(t, "%lf", &back);
+      if (back == v) return t;
+    }
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::vector<std::string> TuneJournal::tasks() const {
+  std::vector<std::string> out;
+  for (const TuneTrial& t : snapshot()) {
+    if (std::find(out.begin(), out.end(), t.task) == out.end()) {
+      out.push_back(t.task);
+    }
+  }
+  return out;
+}
+
+std::vector<TuneTrial> TuneJournal::task_trials(const std::string& task) const {
+  std::vector<TuneTrial> out;
+  for (TuneTrial& t : snapshot()) {
+    if (t.task == task) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+double TuneJournal::best_ms(const std::string& task) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const TuneTrial& t : snapshot()) {
+    if (t.task == task) best = std::min(best, t.measured_ms);
+  }
+  return best;
+}
+
+int TuneJournal::trials_to_within(const std::string& task,
+                                  double tolerance) const {
+  const std::vector<TuneTrial> trials = task_trials(task);
+  if (trials.empty()) return 0;
+  double final_best = std::numeric_limits<double>::infinity();
+  for (const TuneTrial& t : trials) final_best = std::min(final_best, t.measured_ms);
+  const double threshold = final_best * (1.0 + tolerance);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < trials.size(); ++i) {
+    best = std::min(best, trials[i].measured_ms);
+    if (best <= threshold) return static_cast<int>(i) + 1;
+  }
+  return static_cast<int>(trials.size());
+}
+
+std::vector<double> TuneJournal::best_curve(const std::string& task) const {
+  std::vector<double> out;
+  double best = std::numeric_limits<double>::infinity();
+  for (const TuneTrial& t : task_trials(task)) {
+    best = std::min(best, t.measured_ms);
+    out.push_back(best);
+  }
+  return out;
+}
+
+std::string TuneJournal::jsonl() const {
+  std::string out;
+  for (const TuneTrial& t : snapshot()) {
+    out += R"({"task": ")" + obs::json::escape(t.task) + R"(", )";
+    out += R"("strategy": ")" + obs::json::escape(t.strategy) + R"(", )";
+    out += R"("trial": )" + std::to_string(t.trial) + ", ";
+    out += R"("round": )" + std::to_string(t.round) + ", ";
+    out += R"("config": ")" + obs::json::escape(t.config) + R"(", )";
+    out += R"("measured_ms": )" + round_trip_double(t.measured_ms) + ", ";
+    out += R"("predicted_ms": )" + round_trip_double(t.predicted_ms) + ", ";
+    out += R"("best_ms": )" + round_trip_double(t.best_ms) + "}\n";
+  }
+  return out;
+}
+
+TuneJournal TuneJournal::from_jsonl(const std::string& text) {
+  TuneJournal j;
+  std::istringstream is(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const obs::json::Value v = obs::json::parse(line);
+    IGC_CHECK(v.is_object()) << "journal line " << line_no
+                             << " is not a JSON object";
+    TuneTrial t;
+    t.task = v.at("task").as_string();
+    t.strategy = v.at("strategy").as_string();
+    t.trial = static_cast<int>(v.at("trial").as_int());
+    t.round = static_cast<int>(v.at("round").as_int());
+    t.config = v.at("config").as_string();
+    t.measured_ms = v.at("measured_ms").as_number();
+    t.predicted_ms = v.at("predicted_ms").as_number();
+    t.best_ms = v.at("best_ms").as_number();
+    j.record(std::move(t));
+  }
+  return j;
+}
+
+bool TuneJournal::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f.good()) return false;
+  f << jsonl();
+  return f.good();
+}
+
+TuneJournal TuneJournal::load(const std::string& path) {
+  std::ifstream f(path);
+  IGC_CHECK(f.good()) << "cannot read " << path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return from_jsonl(ss.str());
+}
+
+std::string TuneJournal::convergence_report() const {
+  char buf[256];
+  std::string out = "tuning convergence (per task):\n";
+  out += "  trials  to-5%   default ms    best ms  speedup  strategy  task\n";
+  for (const std::string& task : tasks()) {
+    const std::vector<TuneTrial> trials = task_trials(task);
+    if (trials.empty()) continue;
+    // Trial 0 is the always-measured default config (the Table 5 "Before").
+    const double default_ms = trials.front().measured_ms;
+    const double best = best_ms(task);
+    std::snprintf(buf, sizeof(buf),
+                  "  %6zu %6d %12.4f %10.4f %7.2fx  %-9s %s\n", trials.size(),
+                  trials_to_within(task, 0.05), default_ms, best,
+                  best > 0.0 ? default_ms / best : 0.0,
+                  trials.front().strategy.c_str(), task.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace igc::tune

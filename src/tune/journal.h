@@ -1,0 +1,100 @@
+// The tuning flight recorder.
+//
+// AutoTVM-style search (Sec. 3.2.3) is normally a black box: tune() returns
+// only the winning config. The journal records every measurement the tuner
+// makes — one record per trial with the config, the measured latency, the
+// cost model's prediction (model-guided rounds only), and the best-so-far —
+// so a tuning run can be replayed, audited, and turned into convergence
+// curves (how many trials until within 5% of the final best, model-guided
+// vs random). Persisted as JSONL next to the TuneDb: the db stores the
+// answer, the journal stores how the search got there.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tune/config.h"
+
+namespace igc::tune {
+
+/// One measured trial.
+struct TuneTrial {
+  /// Task the trial belongs to (TuneDb key for conv workloads; "" for
+  /// anonymous tune() calls).
+  std::string task;
+  std::string strategy;  // "random" | "annealing" | "model_guided"
+  int trial = 0;         // 0-based measurement index within the task
+  /// Search round: 0 covers the default-config anchor and any warm-up batch;
+  /// model-guided fit/measure iterations count up from 1.
+  int round = 0;
+  std::string config;       // canonical ScheduleConfig::str() knob string
+  double measured_ms = 0.0;
+  /// Cost-model predicted latency for this config; < 0 when the trial was
+  /// not model-ranked (random/annealing trials, warm-up, epsilon slot).
+  double predicted_ms = -1.0;
+  /// Best measured latency including this trial.
+  double best_ms = 0.0;
+};
+
+/// Append-only, thread-safe trial log. One journal may span many tasks
+/// (graph_tuner journals every conv workload of a model into one).
+class TuneJournal {
+ public:
+  TuneJournal() = default;
+  TuneJournal(const TuneJournal& o) : trials_(o.snapshot()) {}
+  TuneJournal& operator=(const TuneJournal& o) {
+    if (this != &o) {
+      auto t = o.snapshot();
+      std::lock_guard<std::mutex> lock(mu_);
+      trials_ = std::move(t);
+    }
+    return *this;
+  }
+
+  void record(TuneTrial t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    trials_.push_back(std::move(t));
+  }
+
+  std::vector<TuneTrial> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return trials_;
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return trials_.size();
+  }
+
+  /// Distinct task keys, in first-appearance order.
+  std::vector<std::string> tasks() const;
+  /// Trials of one task, in recording order.
+  std::vector<TuneTrial> task_trials(const std::string& task) const;
+  /// Best (minimum) measured ms over the task's trials; +inf when absent.
+  double best_ms(const std::string& task) const;
+  /// Number of trials until the running best first came within
+  /// (1 + tolerance) of the task's final best (>= 1; 0 when absent).
+  int trials_to_within(const std::string& task, double tolerance) const;
+  /// Running best-so-far curve of one task (one entry per trial).
+  std::vector<double> best_curve(const std::string& task) const;
+
+  /// One JSON object per line. Doubles are printed with enough digits to
+  /// round-trip exactly, so a replay reproduces best_ms bit for bit.
+  std::string jsonl() const;
+  /// Parses journal text (via the in-repo obs/json parser). Raises
+  /// igc::Error on malformed lines.
+  static TuneJournal from_jsonl(const std::string& text);
+
+  bool save(const std::string& path) const;
+  static TuneJournal load(const std::string& path);
+
+  /// Human-readable per-task convergence table: trials, default -> best ms,
+  /// speedup, and trials-to-within-5%.
+  std::string convergence_report() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TuneTrial> trials_;
+};
+
+}  // namespace igc::tune

@@ -1,11 +1,50 @@
 #include "tune/tunedb.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "core/error.h"
 
 namespace igc::tune {
+namespace {
+
+/// Current file-format version (see TuneDb::serialize).
+constexpr int kTuneDbVersion = 2;
+constexpr const char* kHeaderPrefix = "# igc-tunedb v";
+
+/// The line format's reserved characters. A key lives in a tab-separated
+/// field; knob names additionally live inside the "k=v;k=v" config field.
+bool key_is_safe(const std::string& key) {
+  return key.find_first_of("\t\n\r") == std::string::npos;
+}
+
+bool knob_is_safe(const std::string& name) {
+  return !name.empty() && name.find_first_of("\t\n\r;=") == std::string::npos;
+}
+
+void check_record(const std::string& key, const TuneRecord& rec) {
+  IGC_CHECK(key_is_safe(key))
+      << "TuneDb key contains tab/newline and would corrupt the line "
+         "format: "
+      << key;
+  for (const auto& [name, value] : rec.config.knobs()) {
+    IGC_CHECK(knob_is_safe(name))
+        << "TuneDb knob name contains a reserved character "
+           "(tab/newline/';'/'='): "
+        << name << " (key " << key << ")";
+  }
+}
+
+double parse_double(const std::string& s, const std::string& line) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  IGC_CHECK(end != s.c_str() && end != nullptr && *end == '\0')
+      << "malformed number '" << s << "' in tunedb line: " << line;
+  return v;
+}
+
+}  // namespace
 
 std::string TuneDb::make_key(const std::string& device,
                              const std::string& workload, int layout_block) {
@@ -13,6 +52,7 @@ std::string TuneDb::make_key(const std::string& device,
 }
 
 void TuneDb::put(const std::string& key, TuneRecord record) {
+  check_record(key, record);
   records_[key] = std::move(record);
 }
 
@@ -24,7 +64,9 @@ std::optional<TuneRecord> TuneDb::get(const std::string& key) const {
 
 std::string TuneDb::serialize() const {
   std::ostringstream os;
+  os << kHeaderPrefix << kTuneDbVersion << "\n";
   for (const auto& [key, rec] : records_) {
+    check_record(key, rec);
     os << key << "\t" << rec.best_ms << "\t" << rec.default_ms << "\t"
        << rec.config.str() << "\n";
   }
@@ -35,16 +77,29 @@ TuneDb TuneDb::deserialize(const std::string& text) {
   TuneDb db;
   std::istringstream is(text);
   std::string line;
+  bool first = true;
   while (std::getline(is, line)) {
-    if (line.empty()) continue;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (first && line.rfind(kHeaderPrefix, 0) == 0) {
+      first = false;
+      const int version =
+          std::atoi(line.c_str() + std::string(kHeaderPrefix).size());
+      IGC_CHECK_GT(version, 0) << "malformed tunedb header: " << line;
+      IGC_CHECK_LE(version, kTuneDbVersion)
+          << "tunedb file written by a newer version (v" << version
+          << " > v" << kTuneDbVersion << "); refusing to guess its format";
+      continue;
+    }
+    first = false;
+    if (line.empty() || line[0] == '#') continue;  // comments tolerated
     std::istringstream ls(line);
     std::string key, best, dflt, cfg;
     IGC_CHECK(std::getline(ls, key, '\t') && std::getline(ls, best, '\t') &&
               std::getline(ls, dflt, '\t') && std::getline(ls, cfg))
         << "malformed tunedb line: " << line;
     TuneRecord rec;
-    rec.best_ms = std::stod(best);
-    rec.default_ms = std::stod(dflt);
+    rec.best_ms = parse_double(best, line);
+    rec.default_ms = parse_double(dflt, line);
     rec.config = parse_config(cfg);
     db.put(key, std::move(rec));
   }
@@ -73,7 +128,13 @@ ScheduleConfig parse_config(const std::string& text) {
     if (item.empty()) continue;
     const size_t eq = item.find('=');
     IGC_CHECK_NE(eq, std::string::npos) << "malformed knob: " << item;
-    cfg.set(item.substr(0, eq), std::stoll(item.substr(eq + 1)));
+    IGC_CHECK_GT(eq, 0u) << "empty knob name: " << item;
+    char* end = nullptr;
+    const std::string value = item.substr(eq + 1);
+    const long long v = std::strtoll(value.c_str(), &end, 10);
+    IGC_CHECK(end != value.c_str() && end != nullptr && *end == '\0')
+        << "malformed knob value: " << item;
+    cfg.set(item.substr(0, eq), v);
   }
   return cfg;
 }

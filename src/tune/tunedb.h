@@ -26,13 +26,18 @@ class TuneDb {
   static std::string make_key(const std::string& device,
                               const std::string& workload, int layout_block);
 
+  /// Stores a record. Raises igc::Error when the key or a knob name would
+  /// corrupt the line format (keys must not contain tab/newline; knob names
+  /// must not contain tab/newline/';'/'=' — see serialize()).
   void put(const std::string& key, TuneRecord record);
   std::optional<TuneRecord> get(const std::string& key) const;
   bool contains(const std::string& key) const { return records_.count(key) > 0; }
   size_t size() const { return records_.size(); }
 
-  /// Serialization: one record per line,
-  /// "key<TAB>best_ms<TAB>default_ms<TAB>knob=v;knob=v".
+  /// Serialization: a versioned header line ("# igc-tunedb v2") followed by
+  /// one record per line, "key<TAB>best_ms<TAB>default_ms<TAB>knob=v;knob=v".
+  /// deserialize() also accepts headerless v1 files; it rejects files
+  /// declaring a newer version, malformed lines, and non-numeric fields.
   std::string serialize() const;
   static TuneDb deserialize(const std::string& text);
 

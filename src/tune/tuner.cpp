@@ -6,6 +6,7 @@
 
 #include "core/error.h"
 #include "obs/metrics.h"
+#include "tune/journal.h"
 
 namespace igc::tune {
 namespace {
@@ -17,10 +18,15 @@ obs::Counter& trials_counter() {
 
 class Recorder {
  public:
-  Recorder(const MeasureFn& measure, int budget)
-      : measure_(measure), budget_(budget) {}
+  Recorder(const MeasureFn& measure, const TuneOptions& opts)
+      : measure_(measure), budget_(opts.n_trials), journal_(opts.journal),
+        task_(opts.journal_task),
+        strategy_(std::string(strategy_name(opts.strategy))) {}
 
-  double measure(const ScheduleConfig& cfg) {
+  /// Measures one config. `predicted_ms` is the cost model's ranking score
+  /// when the config was model-selected (< 0 otherwise); it flows to the
+  /// journal only, never back into the search.
+  double measure(const ScheduleConfig& cfg, double predicted_ms = -1.0) {
     const double ms = measure_(cfg);
     IGC_CHECK_GT(ms, 0.0);
     ++trials_;
@@ -31,8 +37,23 @@ class Recorder {
       best_ms_ = ms;
       best_ = cfg;
     }
+    if (journal_ != nullptr) {
+      TuneTrial t;
+      t.task = task_;
+      t.strategy = strategy_;
+      t.trial = trials_ - 1;
+      t.round = round_;
+      t.config = cfg.str();
+      t.measured_ms = ms;
+      t.predicted_ms = predicted_ms;
+      t.best_ms = best_ms_;
+      journal_->record(std::move(t));
+    }
     return ms;
   }
+
+  /// Advances the journal's search-round stamp (model-guided iterations).
+  void next_round() { ++round_; }
 
   bool exhausted() const { return trials_ >= budget_; }
   int trials() const { return trials_; }
@@ -44,6 +65,10 @@ class Recorder {
  private:
   const MeasureFn& measure_;
   int budget_;
+  TuneJournal* journal_;
+  std::string task_;
+  std::string strategy_;
+  int round_ = 0;
   int trials_ = 0;
   double best_ms_ = std::numeric_limits<double>::infinity();
   ScheduleConfig best_;
@@ -88,6 +113,7 @@ void model_guided(const ConfigSpace& space, Recorder& rec, Rng& rng,
     if (seen.insert(cfg.str()).second) rec.measure(cfg);
   }
   while (!rec.exhausted()) {
+    rec.next_round();
     model.fit(rec.xs(), rec.ys());
     // Rank a pool of unseen random candidates by predicted latency.
     std::vector<std::pair<double, ScheduleConfig>> pool;
@@ -103,7 +129,7 @@ void model_guided(const ConfigSpace& space, Recorder& rec, Rng& rng,
     for (const auto& [pred, cfg] : pool) {
       if (rec.exhausted() || measured >= opts.batch_size - 1) break;
       if (!seen.insert(cfg.str()).second) continue;
-      rec.measure(cfg);
+      rec.measure(cfg, pred);
       ++measured;
     }
     if (!rec.exhausted()) {
@@ -116,11 +142,20 @@ void model_guided(const ConfigSpace& space, Recorder& rec, Rng& rng,
 
 }  // namespace
 
+std::string_view strategy_name(SearchStrategy s) {
+  switch (s) {
+    case SearchStrategy::kRandom: return "random";
+    case SearchStrategy::kSimulatedAnnealing: return "annealing";
+    case SearchStrategy::kModelGuided: return "model_guided";
+  }
+  return "?";
+}
+
 TuneResult tune(const ConfigSpace& space, const MeasureFn& measure,
                 const TuneOptions& opts) {
   IGC_CHECK_GT(opts.n_trials, 0);
   Rng rng(opts.seed);
-  Recorder rec(measure, opts.n_trials);
+  Recorder rec(measure, opts);
 
   // Always measure the untuned default first: it anchors the "Before"
   // column and guarantees the tuner never regresses below the template.

@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 
 #include "core/rng.h"
 #include "tune/config.h"
@@ -26,6 +27,11 @@ enum class SearchStrategy {
   kModelGuided,  // AutoTVM-style (default)
 };
 
+/// Stable name used in journal records and bench rows.
+std::string_view strategy_name(SearchStrategy s);
+
+class TuneJournal;  // tune/journal.h
+
 struct TuneOptions {
   SearchStrategy strategy = SearchStrategy::kModelGuided;
   /// Total measurement budget.
@@ -35,6 +41,11 @@ struct TuneOptions {
   /// Model-guided: candidate pool ranked by the cost model per round.
   int pool_size = 256;
   uint64_t seed = 0x5eedf00d;
+  /// Flight recorder: when set, every measured trial is appended (observer
+  /// hook — never changes the search). Must outlive the tune() call.
+  TuneJournal* journal = nullptr;
+  /// Task key stamped on journal records (conv_tuner uses the TuneDb key).
+  std::string journal_task;
 };
 
 struct TuneResult {

@@ -1,0 +1,131 @@
+// Schema guard for the machine-readable bench output (bench/bench_json.h).
+//
+// Two jobs:
+//   * the row builders (bench_row / counter_summary) emit valid JSON whose
+//     header fields match the current schema version;
+//   * every BENCH_*.json committed at the repo root still parses line by
+//     line with the in-repo obs/json parser and respects the schema rules —
+//     rows written before the schema_version field existed are accepted as
+//     legacy, but a row that *declares* a version must be internally
+//     consistent, so dashboards can trust what they scrape.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "obs/json.h"
+#include "sim/timing_model.h"
+
+namespace igc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Finds the repo root by walking up from the CWD looking for ROADMAP.md
+/// (tests run from the build tree).
+fs::path find_repo_root() {
+  fs::path dir = fs::current_path();
+  for (int depth = 0; depth < 6; ++depth) {
+    if (fs::exists(dir / "ROADMAP.md")) return dir;
+    if (!dir.has_parent_path() || dir.parent_path() == dir) break;
+    dir = dir.parent_path();
+  }
+  return {};
+}
+
+/// Validates one bench row against the schema contract. `source` labels
+/// failures with file:line.
+void validate_row(const obs::json::Value& row, const std::string& source) {
+  // The invariant header every row has carried since v1.
+  EXPECT_FALSE(row.at("bench").as_string().empty()) << source;
+  EXPECT_FALSE(row.at("platform").as_string().empty()) << source;
+  EXPECT_FALSE(row.at("model").as_string().empty()) << source;
+
+  if (!row.has("schema_version")) return;  // legacy (pre-v2) row: header only
+  EXPECT_FALSE(row.at("mode").as_string().empty()) << source;
+  const int64_t v = row.at("schema_version").as_int();
+  EXPECT_GE(v, 1) << source;
+  EXPECT_LE(v, bench::kBenchSchemaVersion)
+      << source << ": row declares a newer schema than this tree knows";
+  if (v >= 2) {
+    EXPECT_TRUE(row.has("passes")) << source;
+  }
+  if (row.has("sim_launches")) {
+    // v3 counter summary: all-or-nothing.
+    EXPECT_GE(v, 3) << source;
+    for (const char* field :
+         {"sim_flops", "sim_dram_bytes", "achieved_gflops", "achieved_gbps",
+          "arithmetic_intensity", "avg_occupancy", "bound"}) {
+      EXPECT_TRUE(row.has(field)) << source << " missing " << field;
+    }
+    EXPECT_GT(row.at("sim_launches").as_int(), 0) << source;
+    EXPECT_GT(row.at("avg_occupancy").as_number(), 0.0) << source;
+    EXPECT_LE(row.at("avg_occupancy").as_number(), 1.0) << source;
+    const std::string bound = row.at("bound").as_string();
+    EXPECT_TRUE(bound == "compute" || bound == "bandwidth" ||
+                bound == "latency")
+        << source << ": bound=" << bound;
+  }
+}
+
+TEST(BenchSchema, RowBuilderEmitsTheCurrentSchema) {
+  bench::JsonObject j = bench::bench_row("guard", "test-platform", "m");
+  sim::KernelCounters c;
+  c.launches = 3;
+  c.flops = 1000;
+  c.dram_bytes = 400;
+  c.ms = 2.0;
+  c.compute_ms = 1.5;
+  c.memory_ms = 0.4;
+  c.occupancy = 0.75;
+  c.bound = sim::BoundKind::kCompute;
+  bench::counter_summary(j, c);
+  const obs::json::Value row = obs::json::parse(j.str());
+  EXPECT_EQ(row.at("schema_version").as_int(), bench::kBenchSchemaVersion);
+  validate_row(row, "bench_row(counter_summary)");
+  EXPECT_EQ(row.at("sim_launches").as_int(), 3);
+  EXPECT_EQ(row.at("bound").as_string(), "compute");
+
+  // Rows without counted launches stay counter-free (and valid).
+  bench::JsonObject plain = bench::bench_row("guard", "test-platform", "m");
+  bench::counter_summary(plain, sim::KernelCounters{});
+  const obs::json::Value plain_row = obs::json::parse(plain.str());
+  EXPECT_FALSE(plain_row.has("sim_launches"));
+  validate_row(plain_row, "bench_row(no counters)");
+}
+
+TEST(BenchSchema, CommittedBenchFilesValidateLineByLine) {
+  const fs::path root = find_repo_root();
+  if (root.empty()) GTEST_SKIP() << "repo root not found from " <<
+      fs::current_path();
+  int files = 0, rows = 0;
+  for (const auto& entry : fs::directory_iterator(root)) {
+    const std::string fname = entry.path().filename().string();
+    if (fname.rfind("BENCH_", 0) != 0 ||
+        entry.path().extension() != ".json") {
+      continue;
+    }
+    ++files;
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in.good()) << entry.path();
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      const std::string source = fname + ":" + std::to_string(lineno);
+      obs::json::Value row;
+      ASSERT_NO_THROW(row = obs::json::parse(line)) << source;
+      validate_row(row, source);
+      ++rows;
+    }
+  }
+  if (files == 0) GTEST_SKIP() << "no BENCH_*.json at " << root;
+  EXPECT_GT(rows, 0);
+}
+
+}  // namespace
+}  // namespace igc

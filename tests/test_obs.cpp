@@ -16,6 +16,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "models/models.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/roofline.h"
 #include "obs/trace.h"
 #include "sim/device_spec.h"
 
@@ -252,11 +254,11 @@ TEST(Trace, ChromeExportIsValidJsonWithLaneTracks) {
   EXPECT_EQ(doc.at("otherData").at("model").as_string(), cm.model_name());
   EXPECT_EQ(doc.at("otherData").at("mode").as_string(), "wavefront");
   EXPECT_TRUE(doc.at("otherData").at("arena").as_bool());
-  EXPECT_EQ(doc.at("otherData").at("schema_version").as_int(), 1);
+  EXPECT_EQ(doc.at("otherData").at("schema_version").as_int(), 2);
   EXPECT_GE(count_lane_tracks(doc), 3);
 
   // Every duration event is well-formed and, on the simulated pid, maps to
-  // one recorded span.
+  // one recorded span; counted spans carry the roofline annotations.
   size_t sim_events = 0;
   for (const obs::json::Value& ev : doc.at("traceEvents").as_array()) {
     if (ev.at("ph").as_string() != "X") continue;
@@ -270,6 +272,25 @@ TEST(Trace, ChromeExportIsValidJsonWithLaneTracks) {
     }
   }
   EXPECT_EQ(sim_events, rec.spans().size());
+
+  // v2: the export carries the three counter tracks ("ph":"C" samples with
+  // a numeric args.value), at least one sample per counted span plus the
+  // trailing zero sample per track.
+  std::map<std::string, size_t> counter_samples;
+  for (const obs::json::Value& ev : doc.at("traceEvents").as_array()) {
+    if (ev.at("ph").as_string() != "C") continue;
+    EXPECT_EQ(ev.at("pid").as_int(), 1);
+    EXPECT_GE(ev.at("args").at("value").as_number(), 0.0);
+    ++counter_samples[ev.at("name").as_string()];
+  }
+  size_t counted_spans = 0;
+  for (const obs::TraceSpan& s : rec.spans()) {
+    if (s.counters.launches > 0) ++counted_spans;
+  }
+  ASSERT_GT(counted_spans, 0u);
+  for (const char* track : {"occupancy", "achieved GFLOPS", "DRAM GB/s"}) {
+    EXPECT_EQ(counter_samples[track], counted_spans + 1) << track;
+  }
 
   // The text report carries the same run identity.
   const std::string report = rec.report();
@@ -308,6 +329,166 @@ TEST(Metrics, DeltasIdenticalAcrossRepeatedArenaRuns) {
   EXPECT_GT(d1.counters.at("exec.kernels_launched"), 0);
   EXPECT_GT(d1.counters.at("arena.acquires"), 0);
   EXPECT_EQ(d1.counters.at("arena.acquires"), d1.counters.at("arena.releases"));
+
+  // Simulated hardware counters land in the registry, and the per-bound
+  // launch counts partition the launch total.
+  EXPECT_GT(d1.counters.at("sim.launches"), 0);
+  EXPECT_GT(d1.counters.at("sim.flops"), 0);
+  EXPECT_GT(d1.counters.at("sim.dram_bytes"), 0);
+  EXPECT_EQ(d1.counters.at("sim.compute_bound_launches") +
+                d1.counters.at("sim.bandwidth_bound_launches") +
+                d1.counters.at("sim.latency_bound_launches"),
+            d1.counters.at("sim.launches"));
+  EXPECT_EQ(d1.histograms.at("sim.launch_occupancy_pct").count,
+            d1.counters.at("sim.launches"));
+}
+
+// ----- simulated hardware counters -----------------------------------------
+
+TEST(Counters, ConserveAcrossSpansAndAgreeWithTheBreakdown) {
+  const sim::Platform& plat = sim::platform(sim::PlatformId::kDeepLens);
+  Rng rng(0x5eed);
+  // SSD with a CPU-fallback detection tail exercises GPU kernels, CPU
+  // sections, and copies — every counter source.
+  const CompiledModel cm =
+      compile_fast(models::build_ssd(rng, models::SsdBackbone::kMobileNet, 128),
+                   plat, {graph::OpKind::kSsdDetection});
+
+  obs::TraceRecorder rec;
+  RunOptions ropts;
+  ropts.compute_numerics = false;
+  ropts.mode = graph::ExecMode::kWavefront;
+  ropts.trace = &rec;
+  const RunResult r = cm.run(ropts);
+
+  // The run aggregate is a faithful rollup of the serial time.
+  ASSERT_GT(r.counters.launches, 0);
+  EXPECT_NEAR(r.counters.ms, r.serial_ms, 1e-6);
+  EXPECT_GT(r.counters.flops, 0);
+  EXPECT_GT(r.counters.dram_bytes, 0);
+  EXPECT_GT(r.counters.occupancy, 0.0);
+  EXPECT_LE(r.counters.occupancy, 1.0);
+
+  // Per-span counters sum to the run aggregate exactly (same additive
+  // terms), and each span's counter time is the span's duration.
+  int64_t launches = 0, flops = 0, dram = 0;
+  double ms = 0.0;
+  for (const obs::TraceSpan& s : rec.spans()) {
+    launches += s.counters.launches;
+    flops += s.counters.flops;
+    dram += s.counters.dram_bytes;
+    ms += s.counters.ms;
+    if (s.counters.launches == 0) continue;
+    EXPECT_NEAR(s.counters.ms, s.sim_end_ms - s.sim_start_ms, 1e-9) << s.name;
+    EXPECT_GT(s.counters.occupancy, 0.0) << s.name;
+    EXPECT_LE(s.counters.occupancy, 1.0) << s.name;
+    // The bound classification agrees with the dominating roofline term.
+    const sim::KernelCounters& c = s.counters;
+    EXPECT_EQ(c.bound,
+              sim::KernelCounters::classify(c.compute_ms, c.memory_ms,
+                                            c.overhead_ms))
+        << s.name;
+    switch (c.bound) {
+      case sim::BoundKind::kCompute:
+        EXPECT_GE(c.compute_ms, c.memory_ms) << s.name;
+        break;
+      case sim::BoundKind::kBandwidth:
+        EXPECT_GT(c.memory_ms, c.compute_ms) << s.name;
+        break;
+      case sim::BoundKind::kLatency:
+        EXPECT_GT(c.overhead_ms, std::max(c.compute_ms, c.memory_ms))
+            << s.name;
+        break;
+    }
+    // The derived rates are finite and positive for counted work.
+    EXPECT_GE(c.achieved_gflops(), 0.0) << s.name;
+    EXPECT_GE(c.achieved_gbps(), 0.0) << s.name;
+  }
+  EXPECT_EQ(launches, r.counters.launches);
+  EXPECT_EQ(flops, r.counters.flops);
+  EXPECT_EQ(dram, r.counters.dram_bytes);
+  EXPECT_NEAR(ms, r.counters.ms, 1e-6);
+}
+
+TEST(Counters, RideAlongWithoutChangingResults) {
+  // Counting is always on; this pins the PR-1 baseline invariant the other
+  // way round: a run with the trace sink attached (counters merged into
+  // spans) reports exactly the same latencies and outputs as one without.
+  const sim::Platform& plat = sim::platform(sim::PlatformId::kDeepLens);
+  Rng rng(0x5eed);
+  const CompiledModel cm =
+      compile_fast(models::build_mobilenet(rng, 64), plat);
+
+  RunOptions ropts;
+  ropts.input_seed = 0x717;
+  const RunResult plain = cm.run(ropts);
+  obs::TraceRecorder rec;
+  ropts.trace = &rec;
+  const RunResult counted = cm.run(ropts);
+
+  EXPECT_EQ(counted.output.max_abs_diff(plain.output), 0.0f);
+  EXPECT_DOUBLE_EQ(counted.latency_ms, plain.latency_ms);
+  EXPECT_DOUBLE_EQ(counted.serial_ms, plain.serial_ms);
+  EXPECT_EQ(counted.counters.launches, plain.counters.launches);
+  EXPECT_EQ(counted.counters.flops, plain.counters.flops);
+  EXPECT_DOUBLE_EQ(counted.counters.ms, plain.counters.ms);
+}
+
+TEST(Roofline, ClassifiesConvWorkConsistentlyOnAllPlatforms) {
+  for (const auto id : {sim::PlatformId::kDeepLens, sim::PlatformId::kAiSage,
+                        sim::PlatformId::kJetsonNano}) {
+    const sim::Platform& plat = sim::platform(id);
+    Rng rng(0x5eed);
+    for (int which = 0; which < 2; ++which) {
+      models::Model model = which == 0 ? models::build_resnet50(rng)
+                                       : models::build_yolov3(rng, 416);
+      CompileOptions copts;
+      copts.skip_tuning = true;  // template schedules: fine for attribution
+      const CompiledModel cm = compile(std::move(model), plat, copts);
+
+      obs::TraceRecorder rec;
+      RunOptions ropts;
+      ropts.compute_numerics = false;
+      ropts.trace = &rec;
+      cm.run(ropts);
+
+      const obs::RooflineReport rep = obs::roofline_report(rec, plat.gpu);
+      EXPECT_EQ(rep.platform, plat.name);
+      EXPECT_GT(rep.peak_gflops, 0.0);
+      EXPECT_GT(rep.ridge_intensity, 0.0);
+      ASSERT_FALSE(rep.rows.empty());
+
+      double bound_sum = 0.0;
+      for (int b = 0; b < sim::kNumBoundKinds; ++b) bound_sum += rep.bound_ms[b];
+      EXPECT_NEAR(bound_sum, rep.serial_ms, 1e-6);
+
+      int conv_rows = 0;
+      for (const obs::RooflineRow& row : rep.rows) {
+        EXPECT_GT(row.ms, 0.0) << row.name;
+        EXPECT_GE(row.pct_of_roof, 0.0) << row.name;
+        EXPECT_LE(row.pct_of_roof, 1.0 + 1e-9) << row.name;
+        if (row.category != sim::OpCategory::kConv) continue;
+        ++conv_rows;
+        // Convolutions are real kernels: the timing model must call them
+        // compute- or bandwidth-bound (launch overhead never dominates),
+        // and the call must match the dominating term.
+        ASSERT_NE(row.counters.bound, sim::BoundKind::kLatency) << row.name;
+        if (row.counters.bound == sim::BoundKind::kCompute) {
+          EXPECT_GE(row.counters.compute_ms, row.counters.memory_ms)
+              << row.name;
+        } else {
+          EXPECT_GT(row.counters.memory_ms, row.counters.compute_ms)
+              << row.name;
+        }
+      }
+      EXPECT_GT(conv_rows, 0) << plat.name;
+
+      // The printable views render and carry the run identity.
+      const std::string text = rep.str();
+      EXPECT_NE(text.find(plat.name), std::string::npos);
+      EXPECT_NE(obs::counters_table(rec).find("launches"), std::string::npos);
+    }
+  }
 }
 
 // ----- option validation ---------------------------------------------------

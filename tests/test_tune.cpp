@@ -2,14 +2,17 @@
 // search strategies, and the tuning database.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 
+#include "core/rng.h"
 #include "ops/nn/conv2d.h"
 #include "sim/device_spec.h"
 #include "tune/config.h"
 #include "tune/conv_tuner.h"
 #include "tune/cost_model.h"
+#include "tune/journal.h"
 #include "tune/tunedb.h"
 #include "tune/tuner.h"
 
@@ -195,6 +198,204 @@ TEST(TuneDb, FileRoundTrip) {
   EXPECT_EQ(loaded.size(), 1u);
   EXPECT_DOUBLE_EQ(loaded.get("k")->best_ms, 3.25);
   std::remove(path.c_str());
+}
+
+TEST(TuneDb, RejectsKeysAndKnobsThatWouldCorruptTheLineFormat) {
+  TuneDb db;
+  TuneRecord ok;
+  ok.config.set("vec", 4);
+  EXPECT_THROW(db.put("bad\tkey", ok), Error);
+  EXPECT_THROW(db.put("bad\nkey", ok), Error);
+  db.put("good key with spaces", ok);  // spaces are fine
+
+  // Reserved characters in knob names are rejected at put() time, before
+  // they can reach a file.
+  for (const char* knob : {"a;b", "a=b", "a\tb", "a\nb"}) {
+    TuneDb fresh;
+    TuneRecord bad;
+    bad.config.set(knob, 1);
+    EXPECT_THROW(fresh.put("k", bad), Error) << knob;
+  }
+}
+
+TEST(TuneDb, VersionedHeaderAndLegacyFiles) {
+  TuneDb db;
+  TuneRecord rec;
+  rec.config.set("vec", 8);
+  rec.best_ms = 1.0;
+  rec.default_ms = 2.0;
+  db.put("k", rec);
+  const std::string text = db.serialize();
+  EXPECT_EQ(text.rfind("# igc-tunedb v", 0), 0u);
+
+  // Headerless v1 files still load; comment lines are tolerated.
+  EXPECT_EQ(TuneDb::deserialize("k\t1\t2\tvec=8\n").size(), 1u);
+  EXPECT_EQ(TuneDb::deserialize("# comment\nk\t1\t2\tvec=8\n").size(), 1u);
+  // Files declaring a newer version are refused rather than misparsed.
+  EXPECT_THROW(TuneDb::deserialize("# igc-tunedb v99\n"), Error);
+  EXPECT_THROW(TuneDb::deserialize("# igc-tunedb vX\n"), Error);
+  // Malformed rows are refused.
+  EXPECT_THROW(TuneDb::deserialize("k\t1\t2\n"), Error);          // no config
+  EXPECT_THROW(TuneDb::deserialize("k\tone\t2\tvec=8\n"), Error); // bad num
+  EXPECT_THROW(TuneDb::deserialize("k\t1\t2\t=8\n"), Error);      // no knob
+  EXPECT_THROW(TuneDb::deserialize("k\t1\t2\tvec=8z\n"), Error);  // bad value
+}
+
+TEST(TuneDb, FuzzedRecordsRoundTripExactly) {
+  // Randomized keys (drawn from the printable-safe alphabet make_key
+  // produces) and knob values round-trip through serialize/deserialize
+  // bit-for-bit, including awkward doubles.
+  Rng rng(0xf22d);
+  const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+      "_-./:,()[]{}| @#!";
+  TuneDb db;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 64; ++i) {
+    std::string key;
+    const size_t len = 1 + rng.next_below(40);
+    for (size_t c = 0; c < len; ++c)
+      key += alphabet[rng.next_below(alphabet.size())];
+    key += "#" + std::to_string(i);  // ensure uniqueness
+    TuneRecord rec;
+    const int n_knobs = 1 + static_cast<int>(rng.next_below(6));
+    for (int k = 0; k < n_knobs; ++k) {
+      rec.config.set("knob_" + std::to_string(k),
+                     static_cast<int64_t>(rng.next_below(1u << 30)) -
+                         (1 << 29));
+    }
+    rec.best_ms = std::exp((rng.next_double() - 0.5) * 40.0);
+    rec.default_ms = rec.best_ms * (1.0 + rng.next_double() * 9.0);
+    db.put(key, rec);
+    keys.push_back(key);
+  }
+  const TuneDb loaded = TuneDb::deserialize(db.serialize());
+  ASSERT_EQ(loaded.size(), db.size());
+  for (const std::string& key : keys) {
+    const auto a = db.get(key);
+    const auto b = loaded.get(key);
+    ASSERT_TRUE(a && b) << key;
+    EXPECT_EQ(a->config, b->config) << key;
+    // serialize() prints doubles via operator<<; equality after one
+    // round-trip is to printed precision.
+    EXPECT_NEAR(a->best_ms, b->best_ms, a->best_ms * 1e-5) << key;
+    EXPECT_NEAR(a->default_ms, b->default_ms, a->default_ms * 1e-5) << key;
+  }
+  // A second round-trip is exact: printing is stable.
+  const TuneDb twice = TuneDb::deserialize(loaded.serialize());
+  for (const std::string& key : keys) {
+    EXPECT_EQ(twice.get(key)->best_ms, loaded.get(key)->best_ms) << key;
+  }
+}
+
+// ----- tuning flight recorder ----------------------------------------------
+
+TEST(TuneJournal, ReplaysEveryStrategyExactly) {
+  const auto& dev = sim::platform(sim::PlatformId::kJetsonNano).gpu;
+  const auto p = resnet_conv();
+  const ConfigSpace space = ops::conv2d_config_space(p, dev);
+  const MeasureFn measure = [&](const ScheduleConfig& cfg) {
+    return ops::conv2d_latency_ms(p, cfg, dev);
+  };
+  for (auto strategy : {SearchStrategy::kRandom,
+                        SearchStrategy::kSimulatedAnnealing,
+                        SearchStrategy::kModelGuided}) {
+    TuneJournal journal;
+    TuneOptions opts;
+    opts.strategy = strategy;
+    opts.n_trials = 64;
+    opts.journal = &journal;
+    opts.journal_task = "test_task";
+    const TuneResult r = tune(space, measure, opts);
+
+    // One record per measurement; the first is the default-config anchor.
+    ASSERT_EQ(journal.size(), static_cast<size_t>(r.trials));
+    const auto trials = journal.task_trials("test_task");
+    ASSERT_EQ(trials.size(), journal.size());
+    EXPECT_EQ(trials.front().trial, 0);
+    EXPECT_DOUBLE_EQ(trials.front().measured_ms, r.default_ms);
+    EXPECT_EQ(trials.front().config, space.default_config().str());
+    EXPECT_EQ(trials.front().strategy,
+              std::string(strategy_name(strategy)));
+
+    // best-so-far is monotone non-increasing and ends at the result.
+    const std::vector<double> curve = journal.best_curve("test_task");
+    for (size_t i = 1; i < curve.size(); ++i)
+      EXPECT_LE(curve[i], curve[i - 1]);
+    EXPECT_DOUBLE_EQ(curve.back(), r.best_ms);
+    EXPECT_DOUBLE_EQ(journal.best_ms("test_task"), r.best_ms);
+    const int to5 = journal.trials_to_within("test_task", 0.05);
+    EXPECT_GE(to5, 1);
+    EXPECT_LE(to5, r.trials);
+
+    // JSONL round-trip replays the run bit-for-bit: the acceptance
+    // criterion for the flight recorder.
+    const TuneJournal replay = TuneJournal::from_jsonl(journal.jsonl());
+    ASSERT_EQ(replay.size(), journal.size());
+    EXPECT_EQ(replay.best_ms("test_task"), r.best_ms);
+    const auto replayed = replay.task_trials("test_task");
+    for (size_t i = 0; i < trials.size(); ++i) {
+      EXPECT_EQ(replayed[i].config, trials[i].config);
+      EXPECT_EQ(replayed[i].measured_ms, trials[i].measured_ms);
+      EXPECT_EQ(replayed[i].predicted_ms, trials[i].predicted_ms);
+      EXPECT_EQ(replayed[i].best_ms, trials[i].best_ms);
+      EXPECT_EQ(replayed[i].round, trials[i].round);
+    }
+
+    if (strategy == SearchStrategy::kModelGuided) {
+      // Model-ranked trials carry the cost model's prediction and a
+      // positive round stamp.
+      int predicted = 0, rounds = 0;
+      for (const TuneTrial& t : trials) {
+        if (t.predicted_ms >= 0.0) ++predicted;
+        rounds = std::max(rounds, t.round);
+      }
+      EXPECT_GT(predicted, 0);
+      EXPECT_GE(rounds, 1);
+    } else {
+      for (const TuneTrial& t : trials) EXPECT_LT(t.predicted_ms, 0.0);
+    }
+  }
+}
+
+TEST(TuneJournal, ConvTunerJournalsUnderTheDbKeyAndSavesToFile) {
+  const auto& dev = sim::platform(sim::PlatformId::kDeepLens).gpu;
+  const auto p = resnet_conv();
+  TuneDb db;
+  TuneJournal journal;
+  TuneOptions opts;
+  opts.n_trials = 32;
+  opts.journal = &journal;
+  tune_conv2d(p, dev, 1, db, opts);
+
+  const std::string key = TuneDb::make_key(dev.name, p.workload_key(), 1);
+  ASSERT_EQ(journal.tasks().size(), 1u);
+  EXPECT_EQ(journal.tasks().front(), key);
+  EXPECT_EQ(journal.task_trials(key).size(), journal.size());
+
+  // Cache hits never re-journal.
+  const size_t before = journal.size();
+  tune_conv2d(p, dev, 1, db, opts);
+  EXPECT_EQ(journal.size(), before);
+
+  // File round-trip and the convergence report.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "igc_journal_test.jsonl")
+          .string();
+  ASSERT_TRUE(journal.save(path));
+  const TuneJournal loaded = TuneJournal::load(path);
+  EXPECT_EQ(loaded.size(), journal.size());
+  EXPECT_EQ(loaded.best_ms(key), journal.best_ms(key));
+  std::remove(path.c_str());
+
+  const std::string report = journal.convergence_report();
+  EXPECT_NE(report.find(key), std::string::npos);
+}
+
+TEST(TuneJournal, RejectsMalformedJsonl) {
+  EXPECT_THROW(TuneJournal::from_jsonl("not json\n"), Error);
+  EXPECT_THROW(TuneJournal::from_jsonl("{\"task\": \"t\"}\n"), Error);
+  EXPECT_EQ(TuneJournal::from_jsonl("").size(), 0u);
 }
 
 TEST(ConvTuner, CachesInDatabase) {

@@ -95,7 +95,10 @@ class JsonObject {
 /// v2: added "passes" (comma-joined graph pass pipeline).
 /// v3: rows for executed runs may carry the counter summary block
 ///     (counter_summary(): sim_launches/sim_flops/... — see below).
-inline constexpr int kBenchSchemaVersion = 3;
+/// v4: serving rows carry "backend" ("interp" | "jit" — which engine
+///     computed operator numerics) and "numerics" (whether numerics ran at
+///     all; shapes-only timing rows say false).
+inline constexpr int kBenchSchemaVersion = 4;
 
 /// Starts a row carrying the shared metadata header every BENCH_*.json line
 /// leads with: bench name, schema version, platform, model, executor mode

@@ -16,6 +16,11 @@
 // (nine 4-branch modules) and SSD over MobileNet (six detection scales plus
 // a CPU-fallback detection tail).
 //
+// A final numerics-on section serves InceptionV1 through both numerics
+// engines — the reference interpreter and the host-JIT backend (compiled
+// kernels, same outputs and simulated times bit-for-bit) — and reports the
+// real host-throughput gap between them.
+//
 // Every row is also emitted as a JSON line into BENCH_serving.json (override
 // the path with argv[1]) for dashboards.
 #include <chrono>
@@ -148,6 +153,10 @@ int main(int argc, char** argv) {
           .field("sim_critical_path_ms", r.rep.critical_path_ms)
           .field("peak_intermediate_bytes", r.rep.peak_intermediate_bytes)
           .field("arena_bytes", r.rep.arena_bytes)
+          // Shapes-only rows never invoke the JIT; the engine label still
+          // says which path *would* compute numerics (schema v4).
+          .field("backend", "interp")
+          .field("numerics", false)
           .field("output_matches_baseline", r.output_matches_baseline);
       j.emit(jf);
       j.emit(stdout);
@@ -167,6 +176,120 @@ int main(int argc, char** argv) {
     j.field("host_speedup", host_speedup)
         .field("sim_speedup", sim_speedup)
         .field("outputs_identical", outputs_identical);
+    j.emit(jf);
+    j.emit(stdout);
+  }
+
+  // --- numerics-on serving: JIT backend vs the reference interpreter ------
+  //
+  // The rows above time the scheduler with numerics off. Here the endpoint
+  // actually computes InceptionV1's tensors every run, once through the
+  // reference host implementations and once through the compiled-kernel JIT
+  // (same module serving from the on-disk artifact cache). Outputs and
+  // simulated times must be bit-identical; only host ms/run moves.
+  {
+    Rng rng(0x5eed);
+    CompileOptions copts;
+    copts.tune_trials = 64;
+    copts.backend = Backend::kJit;
+    // Reuse the tuning work from the shapes-only section: same model, same
+    // platform, same trial budget, so the schedules (and simulated times)
+    // match the InceptionV1 rows above.
+    const tune::TuneDb& warm = workloads[0].cm.tune_db();
+    copts.warm_db = &warm;
+    CompiledModel cm =
+        compile(models::build_inception_v1(rng), plat, copts);
+
+    std::printf("\n=== Numerics-on serving: InceptionV1 on %s "
+                "(sequential+arena) ===\n",
+                plat.name.c_str());
+    if (!cm.jit_enabled()) {
+      std::printf("JIT unavailable (%s); backend=jit rows below ran the "
+                  "reference path\n",
+                  cm.jit_error().c_str());
+    } else {
+      std::printf("jit module: %d kernels covering %d graph nodes\n",
+                  cm.jit_kernels(), cm.jit_nodes_covered());
+    }
+    std::printf("%-10s | %12s | %10s | %12s\n", "(backend)", "host ms/run",
+                "runs/s", "sim ms");
+
+    struct BackendRow {
+      const char* label;
+      RunBackend backend;
+      int runs;
+    };
+    // The interpreter takes seconds per numerics-on run; keep its sample
+    // small and let the JIT amortize over more iterations.
+    const BackendRow kBackends[] = {
+        {"interp", RunBackend::kInterp, 3},
+        {"jit", RunBackend::kJit, 15},
+    };
+    Tensor interp_out;
+    double interp_host_ms = 0.0, interp_sim_ms = 0.0;
+    double jit_host_ms = 0.0;
+    bool outputs_identical = true, sim_identical = true;
+    for (const BackendRow& b : kBackends) {
+      RunOptions ropts;
+      ropts.compute_numerics = true;
+      ropts.mode = graph::ExecMode::kSequential;
+      ropts.use_arena = true;
+      ropts.backend = b.backend;
+      RunResult warm = cm.run(ropts);  // warm: plan + arena + (jit) scratch
+      const auto t0 = Clock::now();
+      for (int i = 0; i < b.runs; ++i) warm = cm.run(ropts);
+      const auto t1 = Clock::now();
+      const double host_ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count() / b.runs;
+
+      bool matches = true;
+      if (!interp_out.defined()) {
+        interp_out = warm.output;
+        interp_host_ms = host_ms;
+        interp_sim_ms = warm.latency_ms;
+      } else {
+        matches = warm.output.shape() == interp_out.shape() &&
+                  warm.output.max_abs_diff(interp_out) == 0.0f;
+        outputs_identical &= matches;
+        sim_identical &= warm.latency_ms == interp_sim_ms;
+        jit_host_ms = host_ms;
+      }
+
+      std::printf("%-10s | %12.2f | %10.2f | %12.3f\n", b.label, host_ms,
+                  1000.0 / host_ms, warm.latency_ms);
+
+      bench::JsonObject j =
+          bench::bench_row("serving", plat.name, "InceptionV1", "sequential");
+      j.field("config", "sequential+arena")
+          .field("arena", true)
+          .field("runs", b.runs)
+          .field("host_ms_per_run", host_ms)
+          .field("host_runs_per_s", 1000.0 / host_ms)
+          .field("sim_latency_ms", warm.latency_ms)
+          .field("sim_serial_ms", warm.serial_ms)
+          .field("sim_critical_path_ms", warm.critical_path_ms)
+          .field("peak_intermediate_bytes", warm.peak_intermediate_bytes)
+          .field("arena_bytes", warm.arena_bytes)
+          .field("backend", b.label)
+          .field("numerics", true)
+          .field("output_matches_baseline", matches);
+      j.emit(jf);
+      j.emit(stdout);
+    }
+
+    const double host_speedup = interp_host_ms / jit_host_ms;
+    std::printf("host speedup (jit vs interp): %.2fx; outputs identical: %s; "
+                "sim latency identical: %s\n",
+                host_speedup, outputs_identical ? "yes" : "NO",
+                sim_identical ? "yes" : "NO");
+
+    bench::JsonObject j = bench::bench_row("serving_jit_summary", plat.name,
+                                           "InceptionV1", "sequential");
+    j.field("host_speedup", host_speedup)
+        .field("outputs_identical", outputs_identical)
+        .field("sim_latency_identical", sim_identical)
+        .field("jit_kernels", cm.jit_kernels())
+        .field("jit_nodes_covered", cm.jit_nodes_covered());
     j.emit(jf);
     j.emit(stdout);
   }

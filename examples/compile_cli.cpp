@@ -31,6 +31,19 @@
 
 namespace {
 
+// "interp" | "jit" -> Backend; anything else exits 2 via the caller.
+bool parse_backend(const std::string& value, igc::Backend* out) {
+  if (value == "interp") {
+    *out = igc::Backend::kInterp;
+    return true;
+  }
+  if (value == "jit") {
+    *out = igc::Backend::kJit;
+    return true;
+  }
+  return false;
+}
+
 igc::models::Model build_by_name(const std::string& name, igc::Rng& rng) {
   using namespace igc::models;  // NOLINT
   if (name == "resnet50") return build_resnet50(rng);
@@ -53,6 +66,11 @@ void usage(const char* argv0, std::FILE* out) {
       "          ssd_mobilenet | ssd_resnet50 | yolov3 | fcn\n"
       "  device: aws-deeplens | acer-aisage | jetson-nano\n"
       "compilation flags:\n"
+      "  --backend interp|jit    numerics engine (jit compiles host kernels;\n"
+      "                          outputs and simulated times are identical)\n"
+      "  --kernel-cache DIR      compiled-kernel artifact cache directory\n"
+      "                          (default $IGC_KERNEL_CACHE or\n"
+      "                          ~/.cache/igc-kernels)\n"
       "  --trials N              tuning trials per conv workload\n"
       "  --untuned               skip tensor-level tuning\n"
       "  --fallback-nms          force vision block onto the CPU\n"
@@ -70,6 +88,7 @@ void usage(const char* argv0, std::FILE* out) {
       "  --roofline              roofline attribution report\n"
       "  --tune-journal PATH     JSONL tuning flight recorder\n"
       "  --metrics PATH          metrics registry snapshot JSON\n"
+      "  --jit-stats             print JIT module + kernel-cache statistics\n"
       "other:\n"
       "  --dump-graph, --dump-kernels, --help\n",
       argv0);
@@ -95,12 +114,28 @@ int main(int argc, char** argv) {
   CompileOptions opts;
   bool dump_graph = false, dump_kernels = false;
   bool wavefront = false, arena = false, report = false;
-  bool counters = false, roofline = false;
+  bool counters = false, roofline = false, jit_stats = false;
   std::string save_db, load_db, trace_path, metrics_path, journal_path;
   tune::TuneJournal journal;
   for (int i = 3; i < argc; ++i) {
+    std::string backend_value;
     if (!std::strcmp(argv[i], "--trials") && i + 1 < argc) {
       opts.tune_trials = std::atoi(argv[++i]);
+    } else if (!std::strncmp(argv[i], "--backend=", 10) ||
+               (!std::strcmp(argv[i], "--backend") && i + 1 < argc)) {
+      backend_value = argv[i][9] == '=' ? argv[i] + 10 : argv[++i];
+      if (!parse_backend(backend_value, &opts.backend)) {
+        std::fprintf(stderr, "unknown backend '%s' (expected interp|jit)\n\n",
+                     backend_value.c_str());
+        usage(argv[0], stderr);
+        return 2;
+      }
+    } else if (!std::strncmp(argv[i], "--kernel-cache=", 15)) {
+      opts.kernel_cache_dir = argv[i] + 15;
+    } else if (!std::strcmp(argv[i], "--kernel-cache") && i + 1 < argc) {
+      opts.kernel_cache_dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--jit-stats")) {
+      jit_stats = true;
     } else if (!std::strcmp(argv[i], "--fallback-nms")) {
       opts.cpu_fallback_ops = {graph::OpKind::kBoxNms,
                                graph::OpKind::kSsdDetection,
@@ -180,6 +215,15 @@ int main(int argc, char** argv) {
   std::printf("  %d GPU nodes, %d CPU nodes, %d copies; %zu tuned workloads\n",
               cm.pass_stats().gpu_nodes, cm.pass_stats().cpu_nodes,
               cm.pass_stats().copies_inserted, cm.tune_db().size());
+  if (opts.backend == Backend::kJit) {
+    if (cm.jit_enabled()) {
+      std::printf("  jit: %d kernels covering %d nodes\n", cm.jit_kernels(),
+                  cm.jit_nodes_covered());
+    } else {
+      std::printf("  jit: unavailable (%s); running the reference path\n",
+                  cm.jit_error().c_str());
+    }
+  }
 
   const bool big_model = model_name.rfind("ssd", 0) == 0 ||
                          model_name == "yolov3" || model_name == "fcn";
@@ -219,6 +263,27 @@ int main(int argc, char** argv) {
     std::printf("wrote %zu trace spans to %s (open in chrome://tracing or "
                 "ui.perfetto.dev)\n",
                 recorder.spans().size(), trace_path.c_str());
+  }
+  if (jit_stats) {
+    // jit.* metrics accumulate process-wide; for a single compile+run CLI
+    // invocation they describe exactly this model's JIT activity.
+    const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+    std::printf("\n-- jit stats --\n");
+    bool any = false;
+    for (const auto& [name, value] : snap.counters) {
+      if (name.rfind("jit.", 0) != 0) continue;
+      std::printf("  %-28s %lld\n", name.c_str(),
+                  static_cast<long long>(value));
+      any = true;
+    }
+    for (const auto& [name, h] : snap.histograms) {
+      if (name.rfind("jit.", 0) != 0) continue;
+      std::printf("  %-28s count=%lld sum=%lld\n", name.c_str(),
+                  static_cast<long long>(h.count),
+                  static_cast<long long>(h.sum));
+      any = true;
+    }
+    if (!any) std::printf("  (no JIT activity; compile with --backend jit)\n");
   }
   if (report) std::printf("\n%s", recorder.report().c_str());
   if (counters) std::printf("\n%s", obs::counters_table(recorder).c_str());

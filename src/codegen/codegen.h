@@ -23,6 +23,25 @@ std::string emit_opencl(const ir::LoweredKernel& kernel,
 /// Emits CUDA C source for the kernel.
 std::string emit_cuda(const ir::LoweredKernel& kernel);
 
+/// Emits standalone host C++ for the kernel (the JIT backend's target).
+/// The emitted function has C linkage and the uniform signature
+///
+///   extern "C" void <name>(float* const* bufs, long long blk_lo,
+///                          long long blk_hi);
+///
+/// where bufs[i] is the storage of kernel.params[i] and [blk_lo, blk_hi) is a
+/// range of flattened grid blocks (all block-bound axes collapsed,
+/// innermost-nested axis fastest; see ir::LoweredKernel::grid_size()). The
+/// caller partitions the grid across host threads; thread-bound axes become
+/// ordinary serial loops, so one block is one work-group's worth of work on
+/// one host thread. Barriers are rejected — host kernels are written without
+/// intra-block synchronization.
+///
+/// Float arithmetic is emitted in single precision with min/max as ternaries,
+/// matching the reference operators bit for bit when compiled with
+/// contraction disabled (the JIT toolchain passes -ffp-contract=off).
+std::string emit_cpp(const ir::LoweredKernel& kernel);
+
 /// Dispatches on the device's API (OpenCL for Intel/Mali, CUDA for Nvidia).
 std::string emit_for_device(const ir::LoweredKernel& kernel,
                             const sim::DeviceSpec& dev);

@@ -1,6 +1,8 @@
 #include "core/compiler.h"
 
 #include "codegen/codegen.h"
+#include "codegen/jit.h"
+#include "codegen/jit_lower.h"
 #include "graphtune/graph_tuner.h"
 #include "ops/nn/conv2d.h"
 #include "tune/conv_tuner.h"
@@ -33,6 +35,35 @@ CompiledModel compile(models::Model model, const sim::Platform& platform,
         graphtune::tune_graph_layouts(cm.graph_, platform.gpu, cm.db_, topts);
     cm.layouts_ = layouts.layout_of_conv;
   }
+
+  // Resolve every conv's schedule once, here, so serving runs skip the
+  // per-dispatch database lookup. Content matches what the executor would
+  // resolve per run, so simulated latencies are unchanged.
+  for (int id : cm.graph_.conv_node_ids()) {
+    const graph::Node& n = cm.graph_.node(id);
+    const int block = [&] {
+      auto it = cm.layouts_.find(id);
+      return it == cm.layouts_.end() ? 1 : it->second;
+    }();
+    tune::ScheduleConfig cfg;
+    if (cm.tuned_) {
+      cfg = tune::lookup_or_default(n.conv, platform.gpu, block, &cm.db_);
+    } else {
+      cfg = ops::conv2d_manual_schedule(n.conv, platform.gpu);
+      cfg.set("layout_block", block);
+    }
+    cm.conv_schedules_.emplace(id, std::move(cfg));
+  }
+
+  if (opts.backend == Backend::kJit) {
+    auto& cache = codegen::jit::KernelCache::shared(opts.kernel_cache_dir);
+    codegen::jit::LowerResult lr = codegen::jit::build_dispatch_table(
+        cm.graph_, cache, opts.compile_trace);
+    cm.jit_ = lr.table;
+    cm.jit_kernels_ = lr.kernels;
+    cm.jit_nodes_covered_ = lr.nodes_covered;
+    cm.jit_error_ = lr.error;
+  }
   return cm;
 }
 
@@ -42,9 +73,11 @@ RunResult CompiledModel::run(const RunOptions& opts) const {
   eopts.use_tuned_configs = tuned_;
   eopts.db = &db_;
   eopts.conv_layout_block = layouts_;
+  eopts.conv_schedules = &conv_schedules_;
   eopts.mode = opts.mode;
   eopts.use_arena = opts.use_arena;
   eopts.trace = opts.trace;
+  if (opts.backend != RunBackend::kInterp) eopts.jit = jit_.get();
   if (opts.trace != nullptr) {
     obs::TraceMeta meta;
     meta.model = name_;

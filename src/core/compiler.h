@@ -30,7 +30,19 @@
 #include "tune/tunedb.h"
 #include "tune/tuner.h"
 
+namespace igc::codegen::jit {
+struct DispatchTable;
+}
+
 namespace igc {
+
+/// Which engine computes operator numerics. Simulated latencies, counters,
+/// and outputs are bit-identical either way; the JIT only changes how many
+/// host milliseconds a numerics-on run costs.
+enum class Backend {
+  kInterp,  // reference host implementations (the functional path)
+  kJit,     // compiled host kernels for covered ops, reference for the rest
+};
 
 struct CompileOptions {
   /// Measurement budget per convolution workload.
@@ -48,6 +60,20 @@ struct CompileOptions {
   /// ms, best-so-far — see tune/journal.h). Must outlive the call.
   tune::TuneJournal* tune_journal = nullptr;
 
+  // --- host JIT backend (see codegen/jit_lower.h) -------------------------
+  /// kJit lowers every coverable operator through the host C++ codegen
+  /// target, compiles one module per model through the on-disk artifact
+  /// cache, and dispatches via function pointers at run time. Degrades to
+  /// the reference path (with jit_error() set) when the host has no C++
+  /// toolchain.
+  Backend backend = Backend::kInterp;
+  /// Artifact-cache directory for compiled kernels; empty resolves
+  /// $IGC_KERNEL_CACHE, then ~/.cache/igc-kernels.
+  std::string kernel_cache_dir;
+  /// When set, JIT lowering / emission / toolchain steps record one span
+  /// each on this recorder. Must outlive the call.
+  obs::TraceRecorder* compile_trace = nullptr;
+
   // --- graph pass pipeline (see graph/pass_manager.h) ---------------------
   /// Explicit pass order; empty runs graph::default_pass_names(). Unknown
   /// names raise igc::Error at compile() time.
@@ -64,8 +90,12 @@ struct CompileOptions {
   std::ostream* dump_stream = nullptr;
 };
 
+/// Per-run numerics-engine choice (see Backend). kAuto runs whatever
+/// compile() prepared.
+enum class RunBackend { kAuto, kInterp, kJit };
+
 /// Knobs for one inference call. Outputs are bit-identical across every
-/// combination of mode/use_arena for a fixed input_seed.
+/// combination of mode/use_arena/backend for a fixed input_seed.
 struct RunOptions {
   uint64_t input_seed = 0xbe5c;
   /// Off propagates shapes and synthetic detection data only (fast for
@@ -84,6 +114,10 @@ struct RunOptions {
   /// Tracing never changes outputs. The recorder must outlive the call;
   /// concurrent runs must not share one.
   obs::TraceRecorder* trace = nullptr;
+  /// kInterp forces the reference path even on a JIT-compiled model; kJit
+  /// on a model compiled without a JIT module just runs the reference path
+  /// (there is nothing compiled to dispatch to).
+  RunBackend backend = RunBackend::kAuto;
 };
 
 struct RunResult {
@@ -136,6 +170,16 @@ class CompiledModel {
   /// tuned convolution kernel, keyed by workload.
   std::map<std::string, std::string> generated_sources() const;
 
+  /// True when compile() built a host-JIT module for this model (backend
+  /// kJit and a working toolchain).
+  bool jit_enabled() const { return jit_ != nullptr; }
+  /// Distinct kernels in the JIT module / graph nodes it covers (0 without
+  /// a module).
+  int jit_kernels() const { return jit_kernels_; }
+  int jit_nodes_covered() const { return jit_nodes_covered_; }
+  /// Why the JIT backend is absent when it was requested ("" otherwise).
+  const std::string& jit_error() const { return jit_error_; }
+
  private:
   friend CompiledModel compile(models::Model model,
                                const sim::Platform& platform,
@@ -159,6 +203,15 @@ class CompiledModel {
   tune::TuneDb db_;
   std::map<int, int> layouts_;
   bool tuned_ = true;
+  /// Conv schedules resolved once at compile() time (ExecOptions::
+  /// conv_schedules), so serving runs skip the per-dispatch db lookup.
+  std::map<int, tune::ScheduleConfig> conv_schedules_;
+  /// Host-JIT dispatch table (null unless compiled with Backend::kJit and a
+  /// working toolchain).
+  std::shared_ptr<codegen::jit::DispatchTable> jit_;
+  int jit_kernels_ = 0;
+  int jit_nodes_covered_ = 0;
+  std::string jit_error_;
   std::shared_ptr<ServingState> serving_ = std::make_shared<ServingState>();
 };
 

@@ -9,6 +9,7 @@
 #include <optional>
 #include <thread>
 
+#include "codegen/jit.h"
 #include "core/error.h"
 #include "core/thread_pool.h"
 #include "obs/metrics.h"
@@ -119,6 +120,37 @@ Tensor synthesize_nms_input(const Shape& shape, Rng& rng) {
     p[i * 6 + 5] = y1 + rng.next_float(0.02f, 0.2f);
   }
   return t;
+}
+
+/// Per-worker reusable buffers for JIT dispatch: the kernel-argument array
+/// and the zero-padded conv input. Thread-local so steady-state serving
+/// performs no per-dispatch heap allocation — the vectors grow to the
+/// largest node once and are reused by every later launch on that thread.
+struct WorkerScratch {
+  std::vector<float*> args;
+  std::vector<float> padded;
+};
+
+WorkerScratch& worker_scratch() {
+  thread_local WorkerScratch scratch;
+  return scratch;
+}
+
+/// Zero-pads NCHW `src` (n, c, h, w) into `dst` shaped (n, c, h+2ph, w+2pw).
+/// The pad frame is zeroed so the JIT conv's out-of-bounds taps read
+/// +0.0f (bit-transparent to the reference's skip-OOB accumulation).
+void zero_pad_nchw(const float* src, float* dst, int64_t n, int64_t c,
+                   int64_t h, int64_t w, int64_t ph, int64_t pw) {
+  const int64_t hp = h + 2 * ph;
+  const int64_t wp = w + 2 * pw;
+  std::memset(dst, 0, static_cast<size_t>(n * c * hp * wp) * sizeof(float));
+  for (int64_t plane = 0; plane < n * c; ++plane) {
+    const float* s = src + plane * h * w;
+    float* d = dst + plane * hp * wp + ph * wp + pw;
+    for (int64_t y = 0; y < h; ++y) {
+      std::memcpy(d + y * wp, s + y * w, static_cast<size_t>(w) * sizeof(float));
+    }
+  }
 }
 
 /// FNV-1a over the node's stable name (node ids are renumbered by passes;
@@ -409,6 +441,9 @@ class ExecutorImpl {
     // from concurrently running node tasks.
     double serial = 0.0;
     sim::LaneSchedule lanes;
+    size_t total_events = 0;
+    for (const NodeRun& r : node_runs_) total_events += r.events.size();
+    result.events.reserve(total_events);
     std::vector<double> finish(static_cast<size_t>(g_.num_nodes()), 0.0);
     for (const Node& n : g_.nodes()) {
       if (!live(n.id)) continue;
@@ -938,13 +973,109 @@ class ExecutorImpl {
     IGC_CHECK(false) << "unhandled op " << op_kind_name(n.kind);
   }
 
+  /// Computes node `n` through its compiled host kernel when the run carries
+  /// a dispatch table covering it. Writes straight into the node's output
+  /// buffer (arena slab or fresh heap tensor — no set_computed copy) and
+  /// splits the kernel's flattened grid over the data-parallel pool; disjoint
+  /// blocks write disjoint outputs, so the partition is race-free and the
+  /// result is bit-identical to the reference path regardless of chunking.
+  /// Returns false when the node is not covered (caller runs the reference).
+  bool try_jit(const Node& n) {
+    if (opts_.jit == nullptr) return false;
+    const codegen::jit::NodeKernel* k = opts_.jit->find(n.id);
+    if (k == nullptr) return false;
+    static auto& dispatches =
+        obs::MetricsRegistry::global().counter("jit.dispatches");
+
+    Tensor out = arena_ != nullptr
+                     ? arena_acquire(n, n.out_shape, DType::kFloat32,
+                                     /*zero_fill=*/false)
+                     : Tensor(n.out_shape, DType::kFloat32);
+    WorkerScratch& scratch = worker_scratch();
+    scratch.args.clear();
+    for (codegen::jit::ArgKind kind : k->args) {
+      scratch.args.push_back(bind_arg(kind, n, *k, out, scratch));
+    }
+
+    ThreadPool& pool = ThreadPool::global();
+    const int64_t grid = k->grid;
+    const int64_t chunks =
+        std::min<int64_t>(grid, std::max(1, 4 * pool.num_threads()));
+    float* const* args = scratch.args.data();
+    codegen::jit::KernelFn fn = k->fn;
+    if (chunks <= 1 || pool.on_worker_thread()) {
+      fn(args, 0, grid);
+    } else {
+      pool.parallel_for(chunks, [args, fn, grid, chunks](int64_t c) {
+        fn(args, grid * c / chunks, grid * (c + 1) / chunks);
+      });
+    }
+    dispatches.add(1);
+
+    Value& v = val(n.id);
+    if (arena_ == nullptr) v.heap_bytes = out.nbytes();
+    v.tensor = std::move(out);
+    v.materialized = true;
+    return true;
+  }
+
+  /// Resolves one kernel-argument slot to a buffer pointer. Inputs are
+  /// const_cast through the uniform float** ABI; the emitted kernels declare
+  /// them `const float* __restrict__` and never write them.
+  float* bind_arg(codegen::jit::ArgKind kind, const Node& n,
+                  const codegen::jit::NodeKernel& k, Tensor& out,
+                  WorkerScratch& scratch) {
+    using codegen::jit::ArgKind;
+    auto mut = [](const Tensor& t) {
+      return const_cast<float*>(t.data_f32());
+    };
+    switch (kind) {
+      case ArgKind::kInput0:
+        return mut(in_tensor(n, 0));
+      case ArgKind::kInput1:
+        return mut(in_tensor(n, 1));
+      case ArgKind::kPaddedInput0: {
+        const Tensor& in = in_tensor(n, 0);
+        if (k.pad_h == 0 && k.pad_w == 0) return mut(in);
+        const Shape& s = in.shape();
+        const int64_t need =
+            s[0] * s[1] * (s[2] + 2 * k.pad_h) * (s[3] + 2 * k.pad_w);
+        if (static_cast<int64_t>(scratch.padded.size()) < need) {
+          scratch.padded.resize(static_cast<size_t>(need));
+        }
+        zero_pad_nchw(in.data_f32(), scratch.padded.data(), s[0], s[1], s[2],
+                      s[3], k.pad_h, k.pad_w);
+        return scratch.padded.data();
+      }
+      case ArgKind::kWeight:
+        return mut(n.weight);
+      case ArgKind::kBias:
+        return mut(n.bias);
+      case ArgKind::kScale:
+        return mut(n.scale);
+      case ArgKind::kShift:
+        return mut(n.shift);
+      case ArgKind::kFusedScale:
+        return mut(n.fused_scale);
+      case ArgKind::kFusedShift:
+        return mut(n.fused_shift);
+      case ArgKind::kOutput:
+        return out.data_f32();
+    }
+    IGC_CHECK(false) << "bad ArgKind";
+    return nullptr;
+  }
+
   // Elementwise helpers: numerics only when inputs are materialized.
   template <typename Fn>
   void finish_elementwise(const Node& n, Fn&& compute) {
     if (opts_.compute_numerics && in_materialized(n)) {
-      Tensor t = compute();
-      IGC_CHECK(t.shape() == n.out_shape) << n.name << ": " << t.shape().str();
-      set_computed(n, std::move(t));
+      if (!try_jit(n)) {
+        Tensor t = compute();
+        IGC_CHECK(t.shape() == n.out_shape)
+            << n.name << ": " << t.shape().str();
+        set_computed(n, std::move(t));
+      }
     } else {
       set_placeholder(n);
     }
@@ -962,15 +1093,27 @@ class ExecutorImpl {
       return it == opts_.conv_layout_block.end() ? 1 : it->second;
     }();
     charge_layout_edges(cx, n, block);
-    const tune::ScheduleConfig cfg =
-        opts_.use_tuned_configs
-            ? tune::lookup_or_default(n.conv, platform_.gpu, block, opts_.db)
-            : [&] {
-                // Untuned: the stock hand-written template (Table 5 Before).
-                auto c = ops::conv2d_manual_schedule(n.conv, platform_.gpu);
-                c.set("layout_block", block);
-                return c;
-              }();
+    // Schedule resolution order: the pre-resolved per-node map (no string
+    // key building on the hot path), then the tuning database, then the
+    // hand-written template (Table 5 Before). All three agree on content —
+    // the map is just the lookup hoisted to compile time.
+    const tune::ScheduleConfig* pre = nullptr;
+    if (opts_.conv_schedules != nullptr) {
+      auto it = opts_.conv_schedules->find(n.id);
+      if (it != opts_.conv_schedules->end()) pre = &it->second;
+    }
+    tune::ScheduleConfig looked_up;
+    if (pre == nullptr) {
+      looked_up =
+          opts_.use_tuned_configs
+              ? tune::lookup_or_default(n.conv, platform_.gpu, block, opts_.db)
+              : [&] {
+                  auto c = ops::conv2d_manual_schedule(n.conv, platform_.gpu);
+                  c.set("layout_block", block);
+                  return c;
+                }();
+    }
+    const tune::ScheduleConfig& cfg = pre != nullptr ? *pre : looked_up;
     if (opts_.trace != nullptr) cx.schedule = cfg.str();
     if (n.place == Place::kCpu) {
       cx.clock.charge_cpu(platform_.cpu, n.conv.flops(), n.conv.min_bytes(),
@@ -982,15 +1125,18 @@ class ExecutorImpl {
       cx.clock.charge(platform_.gpu, k);
     }
     if (opts_.compute_numerics && in_materialized(n)) {
-      Tensor t = ops::conv2d_reference(
-          in_tensor(n), n.weight, n.bias.defined() ? &n.bias : nullptr, n.conv);
-      if (n.fused_scale_shift) {
-        t = ops::scale_shift_reference(t, n.fused_scale, n.fused_shift);
+      if (!try_jit(n)) {
+        Tensor t = ops::conv2d_reference(
+            in_tensor(n), n.weight, n.bias.defined() ? &n.bias : nullptr,
+            n.conv);
+        if (n.fused_scale_shift) {
+          t = ops::scale_shift_reference(t, n.fused_scale, n.fused_shift);
+        }
+        if (n.fused_activation) {
+          t = ops::activation_reference(t, n.fused_act, n.fused_act_alpha);
+        }
+        set_computed(n, std::move(t));
       }
-      if (n.fused_activation) {
-        t = ops::activation_reference(t, n.fused_act, n.fused_act_alpha);
-      }
-      set_computed(n, std::move(t));
     } else {
       set_placeholder(n);
     }

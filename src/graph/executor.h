@@ -47,6 +47,10 @@
 #include "tensor/arena.h"
 #include "tune/tunedb.h"
 
+namespace igc::codegen::jit {
+struct DispatchTable;
+}
+
 namespace igc::graph {
 
 /// The one categorization rule behind every breakdown: ExecResult's
@@ -79,6 +83,19 @@ struct ExecOptions {
   /// Concurrent runs must not share one.
   BufferArena* arena = nullptr;
   const MemoryPlan* plan = nullptr;
+
+  /// Host-JIT dispatch table for this graph (codegen/jit_lower.h). Nodes
+  /// present in the table compute their numerics through compiled host
+  /// kernels — bit-identical to the reference implementations — writing
+  /// straight into their output buffer; absent nodes (and every node when
+  /// null) take the reference path. Simulated charges and counters are
+  /// unaffected either way.
+  const codegen::jit::DispatchTable* jit = nullptr;
+  /// Pre-resolved conv schedule per node id (CompiledModel fills this at
+  /// compile time). Replaces the per-dispatch tuning-database lookup — and
+  /// its workload-key string building — on the serving hot path; nodes
+  /// missing from the map fall back to the lookup.
+  const std::map<int, tune::ScheduleConfig>* conv_schedules = nullptr;
 
   /// When set, one TraceSpan per executed node is appended to this recorder
   /// (simulated lane windows, host dispatch times, category, shapes, bytes,

@@ -1,0 +1,310 @@
+#include "ops/nn/host_kernels.h"
+
+#include <functional>
+
+#include "core/error.h"
+
+namespace igc::ops {
+namespace {
+
+using ir::add;
+using ir::binary;
+using ir::div;
+using ir::ExprPtr;
+using ir::fimm;
+using ir::imm;
+using ir::IterKind;
+using ir::load;
+using ir::lt;
+using ir::make_decl_local;
+using ir::make_assign;
+using ir::make_comment;
+using ir::make_for;
+using ir::make_store;
+using ir::make_if;
+using ir::max_e;
+using ir::mod;
+using ir::mul;
+using ir::select;
+using ir::StmtPtr;
+using ir::var;
+
+/// y = act(x) with the reference operators' exact float expressions:
+/// relu  -> std::max(0.0f, x)            == ((0.0f) < (x) ? (x) : (0.0f))
+/// leaky -> x > 0.0f ? x : alpha * x
+ExprPtr apply_act(ExprPtr x, Activation act, float alpha) {
+  switch (act) {
+    case Activation::kRelu:
+      return max_e(fimm(0.0), x);
+    case Activation::kLeakyRelu:
+      return select(binary(ir::BinOp::kGT, x, fimm(0.0)), x,
+                    mul(fimm(static_cast<double>(alpha)), x));
+    case Activation::kSigmoid:
+      break;
+  }
+  IGC_CHECK(false) << "activation not lowerable to host IR";
+  return x;
+}
+
+ExprPtr fvar(const std::string& name) { return var(name, DType::kFloat32); }
+
+}  // namespace
+
+bool host_act_supported(Activation act) {
+  return act == Activation::kRelu || act == Activation::kLeakyRelu;
+}
+
+ir::LoweredKernel conv2d_build_host_ir(const Conv2dParams& p, bool bias,
+                                       const HostEpilogue& e,
+                                       const std::string& name) {
+  p.validate();
+  IGC_CHECK(!e.activation || host_act_supported(e.act));
+  const int64_t cig = p.in_channels / p.groups;
+  const int64_t cog = p.out_channels / p.groups;
+  const int64_t oh = p.out_h();
+  const int64_t ow = p.out_w();
+  const int64_t ph = p.in_h + 2 * p.pad_h;  // padded input extents
+  const int64_t pw = p.in_w + 2 * p.pad_w;
+
+  ir::LoweredKernel k;
+  k.name = name;
+  k.params.push_back({"data", DType::kFloat32,
+                      p.batch * p.in_channels * ph * pw, false});
+  k.params.push_back({"weight", DType::kFloat32,
+                      p.out_channels * cig * p.kernel_h * p.kernel_w, false});
+  if (bias) k.params.push_back({"bias", DType::kFloat32, p.out_channels, false});
+  if (e.scale_shift) {
+    k.params.push_back({"scale", DType::kFloat32, p.out_channels, false});
+    k.params.push_back({"shift", DType::kFloat32, p.out_channels, false});
+  }
+  k.params.push_back({"out", DType::kFloat32,
+                      p.batch * p.out_channels * oh * ow, true});
+
+  const ExprPtr vn = var("n");
+  const ExprPtr vco = var("co");
+  const ExprPtr vy = var("y");
+  const ExprPtr vx = var("x");
+  const ExprPtr vci = var("ci");
+  const ExprPtr vky = var("ky");
+  const ExprPtr vkx = var("kx");
+
+  auto out_idx = [&](ExprPtr y, ExprPtr x) {
+    ExprPtr plane = add(mul(vn, imm(p.out_channels)), vco);
+    return add(mul(add(mul(plane, imm(oh)), y), imm(ow)), x);
+  };
+
+  std::vector<StmtPtr> block;  // body of one (n, co) grid block
+  block.push_back(make_comment("one block = one output plane"));
+
+  // Init: out[y, x] = bias[co] (or 0), exactly the reference accumulator
+  // seed; the reduction then adds into memory in reference order.
+  {
+    const ExprPtr seed = bias ? load("bias", vco) : fimm(0.0);
+    block.push_back(make_for(
+        {"y", oh, IterKind::kSerial},
+        {make_for({"x", ow, IterKind::kVectorized},
+                  {make_store("out", out_idx(vy, vx), seed)})}));
+  }
+
+  // Reduction: ci -> ky -> kx, weight hoisted to a scalar, spatial loops
+  // innermost so the x loop vectorizes across independent outputs. The
+  // input is pre-padded: taps the reference skips read zeros, and
+  // acc + 0.0f * w cannot change the accumulator's bits.
+  {
+    // in_c = g * cig + ci with g = co / cog (grouped); plain ci otherwise.
+    const bool grouped = p.groups > 1;
+    const ExprPtr in_c = grouped ? var("in_c") : vci;
+    const ExprPtr w_idx = add(
+        mul(add(mul(add(mul(vco, imm(cig)), vci), imm(p.kernel_h)), vky),
+            imm(p.kernel_w)),
+        vkx);
+    // data[((n*CI + in_c) * PH + (y*SH + ky)) * PW + (x*SW + kx)]
+    const ExprPtr iy = add(mul(vy, imm(p.stride_h)), vky);
+    const ExprPtr ix = add(mul(vx, imm(p.stride_w)), vkx);
+    const ExprPtr d_idx =
+        add(mul(add(mul(add(mul(vn, imm(p.in_channels)), in_c), imm(ph)), iy),
+                imm(pw)),
+            ix);
+
+    std::vector<StmtPtr> x_body = {make_store(
+        "out", out_idx(vy, vx),
+        add(load("out", out_idx(vy, vx)), mul(load("data", d_idx), fvar("w"))))};
+    StmtPtr y_loop = make_for(
+        {"y", oh, IterKind::kSerial},
+        {make_for({"x", ow, IterKind::kVectorized}, std::move(x_body))});
+    StmtPtr kx_loop = make_for(
+        {"kx", p.kernel_w, IterKind::kSerial},
+        {make_decl_local("w", DType::kFloat32, load("weight", w_idx)),
+         std::move(y_loop)});
+    StmtPtr ky_loop =
+        make_for({"ky", p.kernel_h, IterKind::kSerial}, {std::move(kx_loop)});
+    std::vector<StmtPtr> ci_body;
+    if (grouped) {
+      ci_body.push_back(make_decl_local(
+          "in_c", DType::kInt32,
+          add(mul(div(vco, imm(cog)), imm(cig)), vci)));
+    }
+    ci_body.push_back(std::move(ky_loop));
+    block.push_back(make_for({"ci", cig, IterKind::kSerial}, std::move(ci_body)));
+  }
+
+  // Fused epilogue, applied per element over the finished plane — the same
+  // per-element float expressions the reference epilogue ops use.
+  if (e.scale_shift || e.activation) {
+    ExprPtr v = fvar("v");
+    std::vector<StmtPtr> x_body;
+    x_body.push_back(
+        make_decl_local("v", DType::kFloat32, load("out", out_idx(vy, vx))));
+    if (e.scale_shift) {
+      x_body.push_back(make_assign(
+          "v", add(mul(v, load("scale", vco)), load("shift", vco))));
+    }
+    if (e.activation) {
+      x_body.push_back(make_assign("v", apply_act(v, e.act, e.act_alpha)));
+    }
+    x_body.push_back(make_store("out", out_idx(vy, vx), v));
+    block.push_back(make_for(
+        {"y", oh, IterKind::kSerial},
+        {make_for({"x", ow, IterKind::kVectorized}, std::move(x_body))}));
+  }
+
+  k.body.push_back(make_for(
+      {"n", p.batch, IterKind::kBlockZ},
+      {make_for({"co", p.out_channels, IterKind::kBlockY}, std::move(block))}));
+  return k;
+}
+
+ir::LoweredKernel dense_build_host_ir(const DenseParams& p, bool bias,
+                                      const HostEpilogue& e,
+                                      const std::string& name) {
+  IGC_CHECK(!e.scale_shift) << "dense has no scale_shift epilogue";
+  IGC_CHECK(!e.activation || host_act_supported(e.act));
+  ir::LoweredKernel k;
+  k.name = name;
+  k.params.push_back({"data", DType::kFloat32, p.batch * p.in_features, false});
+  k.params.push_back(
+      {"weight", DType::kFloat32, p.out_features * p.in_features, false});
+  if (bias) k.params.push_back({"bias", DType::kFloat32, p.out_features, false});
+  k.params.push_back({"out", DType::kFloat32, p.batch * p.out_features, true});
+
+  const ExprPtr vnco = var("nco");
+  const ExprPtr vn = var("n");
+  const ExprPtr vco = var("co");
+  const ExprPtr vci = var("ci");
+  const ExprPtr acc = fvar("acc");
+
+  std::vector<StmtPtr> body;
+  body.push_back(make_decl_local("n", DType::kInt32,
+                                 div(vnco, imm(p.out_features))));
+  body.push_back(make_decl_local("co", DType::kInt32,
+                                 mod(vnco, imm(p.out_features))));
+  body.push_back(make_decl_local("acc", DType::kFloat32,
+                                 bias ? load("bias", vco) : fimm(0.0)));
+  body.push_back(make_for(
+      {"ci", p.in_features, IterKind::kSerial},
+      {make_assign(
+          "acc",
+          add(acc, mul(load("data", add(mul(vn, imm(p.in_features)), vci)),
+                       load("weight",
+                            add(mul(vco, imm(p.in_features)), vci)))))}));
+  if (e.activation) {
+    body.push_back(make_assign("acc", apply_act(acc, e.act, e.act_alpha)));
+  }
+  body.push_back(make_store("out", vnco, acc));
+  k.body.push_back(make_for(
+      {"nco", p.batch * p.out_features, IterKind::kBlockX}, std::move(body)));
+  return k;
+}
+
+namespace {
+
+/// Shared elementwise frame: grid of `chunk`-element blocks with a bounds
+/// guard, body built per element index `idx`.
+ir::LoweredKernel elementwise_host_frame(
+    int64_t numel, const std::string& name,
+    const std::function<std::vector<StmtPtr>(ExprPtr idx)>& body_of) {
+  constexpr int64_t kChunk = 4096;
+  const int64_t blocks = (numel + kChunk - 1) / kChunk;
+  ir::LoweredKernel k;
+  k.name = name;
+  const ExprPtr idx = var("idx");
+  std::vector<StmtPtr> guarded = body_of(idx);
+  std::vector<StmtPtr> i_body;
+  i_body.push_back(make_decl_local(
+      "idx", DType::kInt32,
+      add(mul(var("blk"), imm(kChunk)), var("i"))));
+  i_body.push_back(make_if(lt(idx, imm(numel)), std::move(guarded)));
+  k.body.push_back(make_for(
+      {"blk", blocks, IterKind::kBlockX},
+      {make_for({"i", kChunk, IterKind::kSerial}, std::move(i_body))}));
+  return k;
+}
+
+}  // namespace
+
+ir::LoweredKernel activation_build_host_ir(int64_t numel, Activation act,
+                                           float alpha,
+                                           const std::string& name) {
+  IGC_CHECK(host_act_supported(act));
+  ir::LoweredKernel k = elementwise_host_frame(
+      numel, name, [&](ExprPtr idx) -> std::vector<StmtPtr> {
+        return {make_store("out", idx,
+                           apply_act(load("data", idx), act, alpha))};
+      });
+  k.params.insert(k.params.begin(),
+                  {{"data", DType::kFloat32, numel, false},
+                   {"out", DType::kFloat32, numel, true}});
+  return k;
+}
+
+ir::LoweredKernel add_build_host_ir(int64_t numel, const HostEpilogue& e,
+                                    const std::string& name) {
+  IGC_CHECK(!e.scale_shift) << "add has no scale_shift epilogue";
+  IGC_CHECK(!e.activation || host_act_supported(e.act));
+  ir::LoweredKernel k = elementwise_host_frame(
+      numel, name, [&](ExprPtr idx) -> std::vector<StmtPtr> {
+        std::vector<StmtPtr> body;
+        body.push_back(make_decl_local(
+            "v", DType::kFloat32, add(load("a", idx), load("b", idx))));
+        if (e.activation) {
+          body.push_back(
+              make_assign("v", apply_act(fvar("v"), e.act, e.act_alpha)));
+        }
+        body.push_back(make_store("out", idx, fvar("v")));
+        return body;
+      });
+  k.params.insert(k.params.begin(),
+                  {{"a", DType::kFloat32, numel, false},
+                   {"b", DType::kFloat32, numel, false},
+                   {"out", DType::kFloat32, numel, true}});
+  return k;
+}
+
+ir::LoweredKernel scale_shift_build_host_ir(int64_t n, int64_t c, int64_t hw,
+                                            const std::string& name) {
+  ir::LoweredKernel k;
+  k.name = name;
+  k.params.push_back({"data", DType::kFloat32, n * c * hw, false});
+  k.params.push_back({"scale", DType::kFloat32, c, false});
+  k.params.push_back({"shift", DType::kFloat32, c, false});
+  k.params.push_back({"out", DType::kFloat32, n * c * hw, true});
+
+  const ExprPtr vp = var("p");
+  const ExprPtr vj = var("j");
+  const ExprPtr eidx = add(mul(vp, imm(hw)), vj);
+  std::vector<StmtPtr> body;
+  body.push_back(make_decl_local("ci", DType::kInt32, mod(vp, imm(c))));
+  body.push_back(
+      make_decl_local("s", DType::kFloat32, load("scale", var("ci"))));
+  body.push_back(
+      make_decl_local("t", DType::kFloat32, load("shift", var("ci"))));
+  body.push_back(make_for(
+      {"j", hw, IterKind::kVectorized},
+      {make_store("out", eidx,
+                  add(mul(load("data", eidx), fvar("s")), fvar("t")))}));
+  k.body.push_back(
+      make_for({"p", n * c, IterKind::kBlockX}, std::move(body)));
+  return k;
+}
+
+}  // namespace igc::ops

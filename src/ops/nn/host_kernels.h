@@ -1,0 +1,68 @@
+// Host-schedule lowerings for the JIT backend: the same unified IR as the
+// device templates (conv2d_build_ir, ir_kernels.h), but scheduled for a host
+// CPU compiled through codegen::emit_cpp — block axes become the dispatch
+// grid, everything else plain loops the host compiler vectorizes.
+//
+// Bit-identity contract: each builder reproduces the corresponding reference
+// operator's floating-point evaluation exactly — same accumulation order per
+// output element, same single-precision intermediates, min/max as the
+// std::min/std::max ternaries — so the executor can swap a JIT kernel for
+// the reference implementation with bit-identical outputs (given the JIT
+// toolchain's -ffp-contract=off). The only licensed deviations are ones that
+// cannot change bits: the convolution consumes a zero-padded input so the
+// out-of-bounds taps the reference skips become `acc + 0.0f * w` no-ops, and
+// independent outputs may be computed in any order.
+#pragma once
+
+#include "ir/expr.h"
+#include "ops/nn/conv2d.h"
+#include "ops/nn/nn_ops.h"
+
+namespace igc::ops {
+
+/// Epilogues fused into a conv/dense/add host kernel (mirrors the Node
+/// fused_* fields the executor's reference path applies tensor-by-tensor).
+struct HostEpilogue {
+  bool scale_shift = false;  // y = y * scale[c] + shift[c] (conv only)
+  bool activation = false;
+  Activation act = Activation::kRelu;
+  float act_alpha = 0.1f;
+};
+
+/// True when the JIT can express this activation (sigmoid needs a
+/// transcendental the IR does not model; such nodes stay on the reference
+/// path).
+bool host_act_supported(Activation act);
+
+/// Direct convolution over a *pre-padded* input, any groups count
+/// (depthwise included). Buffers in order: data (N, CI, H+2ph, W+2pw),
+/// weight, [bias], [scale], [shift], out. Grid = batch x out_channels; one
+/// block computes one output plane: init with bias, accumulate ci -> ky ->
+/// kx with the spatial loops innermost, then the fused epilogue.
+ir::LoweredKernel conv2d_build_host_ir(const Conv2dParams& p, bool bias,
+                                       const HostEpilogue& e,
+                                       const std::string& name);
+
+/// Dense (GEMV) kernel. Buffers: data (N, CI), weight (CO, CI), [bias],
+/// out (N, CO). Grid = N*CO; the ci reduction runs ascending like
+/// dense_reference.
+ir::LoweredKernel dense_build_host_ir(const DenseParams& p, bool bias,
+                                      const HostEpilogue& e,
+                                      const std::string& name);
+
+/// Elementwise activation over `numel` elements (relu / leaky only).
+/// Buffers: data, out. Grid = ceil(numel / chunk).
+ir::LoweredKernel activation_build_host_ir(int64_t numel, Activation act,
+                                           float alpha,
+                                           const std::string& name);
+
+/// Elementwise add with optional fused activation. Buffers: a, b, out.
+ir::LoweredKernel add_build_host_ir(int64_t numel, const HostEpilogue& e,
+                                    const std::string& name);
+
+/// Per-channel affine over NCHW. Buffers: data, scale, shift, out.
+/// Grid = n*c planes.
+ir::LoweredKernel scale_shift_build_host_ir(int64_t n, int64_t c, int64_t hw,
+                                            const std::string& name);
+
+}  // namespace igc::ops

@@ -53,6 +53,25 @@ void validate_row(const obs::json::Value& row, const std::string& source) {
   if (v >= 2) {
     EXPECT_TRUE(row.has("passes")) << source;
   }
+  if (row.has("backend")) {
+    // v4: the numerics-engine label travels with a "numerics" bool saying
+    // whether the row actually computed tensors.
+    EXPECT_GE(v, 4) << source;
+    const std::string backend = row.at("backend").as_string();
+    EXPECT_TRUE(backend == "interp" || backend == "jit")
+        << source << ": backend=" << backend;
+    EXPECT_TRUE(row.has("numerics")) << source << " missing numerics";
+  }
+  if (v >= 4 && row.at("bench").as_string() == "serving") {
+    EXPECT_TRUE(row.has("backend")) << source;
+  }
+  if (row.at("bench").as_string() == "serving_jit_summary") {
+    // The JIT serving comparison only ships when it reproduces the
+    // interpreter exactly: same bits, same simulated latency, faster host.
+    EXPECT_TRUE(row.at("outputs_identical").as_bool()) << source;
+    EXPECT_TRUE(row.at("sim_latency_identical").as_bool()) << source;
+    EXPECT_GT(row.at("host_speedup").as_number(), 1.0) << source;
+  }
   if (row.has("sim_launches")) {
     // v3 counter summary: all-or-nothing.
     EXPECT_GE(v, 3) << source;

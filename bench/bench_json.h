@@ -98,7 +98,10 @@ class JsonObject {
 /// v4: serving rows carry "backend" ("interp" | "jit" — which engine
 ///     computed operator numerics) and "numerics" (whether numerics ran at
 ///     all; shapes-only timing rows say false).
-inline constexpr int kBenchSchemaVersion = 4;
+/// v5: serving rows carry host-side per-run latency percentiles
+///     ("host_p50_ms" <= "host_p95_ms" <= "host_p99_ms", from the
+///     log-bucketed obs::LatencyHistogram).
+inline constexpr int kBenchSchemaVersion = 5;
 
 /// Starts a row carrying the shared metadata header every BENCH_*.json line
 /// leads with: bench name, schema version, platform, model, executor mode

@@ -17,13 +17,16 @@
 // file, and --metrics writes a JSON snapshot of the process-wide metrics
 // registry.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "core/compiler.h"
 #include "models/models.h"
+#include "obs/http.h"
 #include "obs/metrics.h"
 #include "obs/roofline.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "sim/device_spec.h"
 #include "tune/journal.h"
@@ -42,6 +45,15 @@ bool parse_backend(const std::string& value, igc::Backend* out) {
     return true;
   }
   return false;
+}
+
+// Strict integer flag value in [lo, hi]; rejects trailing garbage.
+bool parse_int_arg(const char* s, long lo, long hi, long* out) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v < lo || v > hi) return false;
+  *out = v;
+  return true;
 }
 
 igc::models::Model build_by_name(const std::string& name, igc::Rng& rng) {
@@ -89,6 +101,14 @@ void usage(const char* argv0, std::FILE* out) {
       "  --tune-journal PATH     JSONL tuning flight recorder\n"
       "  --metrics PATH          metrics registry snapshot JSON\n"
       "  --jit-stats             print JIT module + kernel-cache statistics\n"
+      "serving flags:\n"
+      "  --serve-metrics PORT    after the first run, keep running inference\n"
+      "                          while serving /metrics /healthz\n"
+      "                          /snapshot.json /series.json on\n"
+      "                          127.0.0.1:PORT (0 picks an ephemeral port)\n"
+      "  --metrics-interval-ms N telemetry sampler period (default 1000)\n"
+      "  --serve-runs N          serving-loop run count (default 0 = keep\n"
+      "                          running until the process is killed)\n"
       "other:\n"
       "  --dump-graph, --dump-kernels, --help\n",
       argv0);
@@ -115,6 +135,8 @@ int main(int argc, char** argv) {
   bool dump_graph = false, dump_kernels = false;
   bool wavefront = false, arena = false, report = false;
   bool counters = false, roofline = false, jit_stats = false;
+  bool serve = false;
+  long serve_port = 0, metrics_interval_ms = 1000, serve_runs = 0;
   std::string save_db, load_db, trace_path, metrics_path, journal_path;
   tune::TuneJournal journal;
   for (int i = 3; i < argc; ++i) {
@@ -136,6 +158,25 @@ int main(int argc, char** argv) {
       opts.kernel_cache_dir = argv[++i];
     } else if (!std::strcmp(argv[i], "--jit-stats")) {
       jit_stats = true;
+    } else if (!std::strcmp(argv[i], "--serve-metrics") && i + 1 < argc) {
+      if (!parse_int_arg(argv[++i], 0, 65535, &serve_port)) {
+        std::fprintf(stderr, "bad --serve-metrics port '%s'\n\n", argv[i]);
+        usage(argv[0], stderr);
+        return 2;
+      }
+      serve = true;
+    } else if (!std::strcmp(argv[i], "--metrics-interval-ms") && i + 1 < argc) {
+      if (!parse_int_arg(argv[++i], 1, 3600 * 1000, &metrics_interval_ms)) {
+        std::fprintf(stderr, "bad --metrics-interval-ms '%s'\n\n", argv[i]);
+        usage(argv[0], stderr);
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--serve-runs") && i + 1 < argc) {
+      if (!parse_int_arg(argv[++i], 0, 1000000000, &serve_runs)) {
+        std::fprintf(stderr, "bad --serve-runs '%s'\n\n", argv[i]);
+        usage(argv[0], stderr);
+        return 2;
+      }
     } else if (!std::strcmp(argv[i], "--fallback-nms")) {
       opts.cpu_fallback_ops = {graph::OpKind::kBoxNms,
                                graph::OpKind::kSsdDetection,
@@ -278,9 +319,8 @@ int main(int argc, char** argv) {
     }
     for (const auto& [name, h] : snap.histograms) {
       if (name.rfind("jit.", 0) != 0) continue;
-      std::printf("  %-28s count=%lld sum=%lld\n", name.c_str(),
-                  static_cast<long long>(h.count),
-                  static_cast<long long>(h.sum));
+      std::printf("  %-28s count=%lld sum=%.6g p99=%.6g\n", name.c_str(),
+                  static_cast<long long>(h.count), h.sum, h.percentile(0.99));
       any = true;
     }
     if (!any) std::printf("  (no JIT activity; compile with --backend jit)\n");
@@ -327,6 +367,35 @@ int main(int argc, char** argv) {
     for (const auto& [key, src] : cm.generated_sources()) {
       std::printf("\n-- %s --\n%s", key.c_str(), src.c_str());
     }
+  }
+
+  if (serve) {
+    // Serving mode: keep re-running inference while the telemetry endpoints
+    // are live, so a scrape watches run.* and exec.* series actually move.
+    obs::TelemetrySampler::Options sopts;
+    sopts.interval_ms = static_cast<int>(metrics_interval_ms);
+    obs::TelemetrySampler sampler(sopts);
+    sampler.start();
+
+    obs::MetricsHttpServer::Options hopts;
+    hopts.port = static_cast<uint16_t>(serve_port);
+    hopts.sampler = &sampler;
+    hopts.const_labels = {{"model", model_name}, {"platform", platform.name}};
+    obs::MetricsHttpServer server(hopts);
+    std::string err;
+    if (!server.start(&err)) {
+      std::fprintf(stderr, "--serve-metrics failed: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("serving telemetry on http://127.0.0.1:%d/metrics "
+                "(sampler interval %ld ms)%s\n",
+                server.port(), metrics_interval_ms,
+                serve_runs == 0 ? "; press Ctrl-C to stop" : "");
+    std::fflush(stdout);
+    for (long i = 0; serve_runs == 0 || i < serve_runs; ++i) cm.run(ropts);
+    server.stop();
+    sampler.stop();
+    std::printf("completed %ld serving runs\n", serve_runs);
   }
   return 0;
 }

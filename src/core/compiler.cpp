@@ -1,9 +1,12 @@
 #include "core/compiler.h"
 
+#include <chrono>
+
 #include "codegen/codegen.h"
 #include "codegen/jit.h"
 #include "codegen/jit_lower.h"
 #include "graphtune/graph_tuner.h"
+#include "obs/metrics.h"
 #include "ops/nn/conv2d.h"
 #include "tune/conv_tuner.h"
 
@@ -103,7 +106,11 @@ RunResult CompiledModel::run(const RunOptions& opts) const {
   }
 
   Rng rng(opts.input_seed);
+  const auto host_t0 = std::chrono::steady_clock::now();
   const graph::ExecResult r = graph::execute(graph_, *platform_, eopts, rng);
+  const double host_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - host_t0)
+                             .count();
   RunResult out;
   out.output = r.output;
   out.latency_ms = r.latency_ms;
@@ -117,6 +124,27 @@ RunResult CompiledModel::run(const RunOptions& opts) const {
   out.peak_intermediate_bytes = r.peak_intermediate_bytes;
   out.arena_bytes = r.arena_bytes;
   out.counters = r.counters;
+
+  // Serving telemetry: every run() feeds the process-wide latency families,
+  // so a sampler or /metrics scrape can watch tail latency on a live
+  // endpoint. run.latency_ms and the per-category families are simulated
+  // times (deterministic per run); run.host_ms is real wall clock (the only
+  // non-deterministic metric a run records).
+  auto& m = obs::MetricsRegistry::global();
+  static auto& run_latency = m.histogram("run.latency_ms");
+  static auto& run_host = m.histogram("run.host_ms");
+  static auto& run_conv = m.histogram("run.conv_ms");
+  static auto& run_vision = m.histogram("run.vision_ms");
+  static auto& run_copy = m.histogram("run.copy_ms");
+  static auto& run_fallback = m.histogram("run.fallback_ms");
+  static auto& run_other = m.histogram("run.other_ms");
+  run_latency.observe(out.latency_ms);
+  run_host.observe(host_ms);
+  run_conv.observe(out.conv_ms);
+  run_vision.observe(out.vision_ms);
+  run_copy.observe(out.copy_ms);
+  run_fallback.observe(out.fallback_ms);
+  run_other.observe(out.other_ms);
   return out;
 }
 

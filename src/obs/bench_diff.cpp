@@ -1,0 +1,277 @@
+#include "obs/bench_diff.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/error.h"
+#include "obs/json.h"
+
+namespace igc::obs::benchdiff {
+namespace {
+
+/// Fields that identify a row across bench regenerations. Occurrence
+/// ordinals are appended later for keys that still collide.
+constexpr const char* kKeyFields[] = {"bench",  "schema_version", "platform",
+                                      "model",  "mode",           "config",
+                                      "backend", "numerics"};
+
+std::string field_as_string(const json::Value& v) {
+  switch (v.kind()) {
+    case json::Value::Kind::kString:
+      return v.as_string();
+    case json::Value::Kind::kBool:
+      return v.as_bool() ? "true" : "false";
+    case json::Value::Kind::kNumber: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.9g", v.as_number());
+      return buf;
+    }
+    default:
+      return {};
+  }
+}
+
+struct Row {
+  std::string key;
+  std::map<std::string, double> metrics;  // every numeric non-key field
+};
+
+std::string row_key(const json::Value& obj) {
+  std::string key;
+  for (const char* f : kKeyFields) {
+    if (!obj.has(f)) continue;
+    if (!key.empty()) key += '|';
+    key += std::string(f) + "=" + field_as_string(obj.at(f));
+  }
+  return key;
+}
+
+bool is_key_field(const std::string& name) {
+  for (const char* f : kKeyFields) {
+    if (name == f) return true;
+  }
+  return false;
+}
+
+/// Parses a JSONL document into rows, disambiguating duplicate keys with
+/// an occurrence ordinal ("...#2") so matching stays positional.
+std::vector<Row> parse_rows(const std::string& jsonl, const char* what) {
+  std::vector<Row> rows;
+  std::map<std::string, int> seen;
+  std::istringstream in(jsonl);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    json::Value v;
+    try {
+      v = json::parse(line);
+    } catch (const igc::Error& e) {
+      throw igc::Error(std::string(what) + " line " + std::to_string(lineno) +
+                       ": " + e.what());
+    }
+    if (!v.is_object()) {
+      throw igc::Error(std::string(what) + " line " + std::to_string(lineno) +
+                       ": expected a JSON object per line");
+    }
+    Row row;
+    row.key = row_key(v);
+    const int n = ++seen[row.key];
+    if (n > 1) row.key += "#" + std::to_string(n);
+    for (const auto& [name, field] : v.as_object()) {
+      if (is_key_field(name) || !field.is_number()) continue;
+      row.metrics[name] = field.as_number();
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+double relative_change_pct(double baseline, double candidate) {
+  if (baseline == 0.0) return candidate == 0.0 ? 0.0 : HUGE_VAL;
+  return (candidate - baseline) / std::fabs(baseline) * 100.0;
+}
+
+void append_num(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+bool infer_higher_is_better(const std::string& metric) {
+  // Throughput/ratio metrics improve upward; times, byte footprints, and
+  // everything unrecognized improve downward (the conservative default for
+  // a latency-focused bench suite).
+  static constexpr const char* kHigherBetter[] = {
+      "runs_per_s", "per_s", "speedup", "gflops", "gbps", "throughput",
+      "ops_per", "hit_rate"};
+  for (const char* token : kHigherBetter) {
+    if (metric.find(token) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool parse_watch(const std::string& spec, Watch* out) {
+  std::string s = spec;
+  bool pinned = false, higher = false;
+  if (!s.empty() && (s[0] == '+' || s[0] == '-')) {
+    pinned = true;
+    higher = s[0] == '+';
+    s.erase(0, 1);
+  }
+  const size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size()) {
+    return false;
+  }
+  std::string pct_str = s.substr(colon + 1);
+  if (!pct_str.empty() && pct_str.back() == '%') pct_str.pop_back();
+  char* end = nullptr;
+  const double pct = std::strtod(pct_str.c_str(), &end);
+  if (end == pct_str.c_str() || *end != '\0' || !(pct > 0.0) ||
+      !std::isfinite(pct)) {
+    return false;
+  }
+  out->metric = s.substr(0, colon);
+  out->pct = pct;
+  out->higher_is_better =
+      pinned ? higher : infer_higher_is_better(out->metric);
+  return true;
+}
+
+DiffResult diff(const std::string& baseline_jsonl,
+                const std::string& candidate_jsonl,
+                const std::vector<Watch>& watches) {
+  const std::vector<Row> base = parse_rows(baseline_jsonl, "baseline");
+  const std::vector<Row> cand = parse_rows(candidate_jsonl, "candidate");
+
+  std::map<std::string, const Row*> cand_by_key;
+  for (const Row& r : cand) cand_by_key[r.key] = &r;
+  std::map<std::string, bool> matched_cand;
+
+  DiffResult out;
+  out.baseline_rows = static_cast<int>(base.size());
+  out.candidate_rows = static_cast<int>(cand.size());
+
+  for (const Row& b : base) {
+    const auto it = cand_by_key.find(b.key);
+    if (it == cand_by_key.end()) {
+      out.baseline_only.push_back(b.key);
+      continue;
+    }
+    matched_cand[b.key] = true;
+    ++out.matched;
+    const Row& c = *it->second;
+
+    RowDelta rd;
+    rd.key = b.key;
+    for (const auto& [metric, bval] : b.metrics) {
+      const auto cit = c.metrics.find(metric);
+      if (cit == c.metrics.end()) continue;
+      MetricDelta md;
+      md.metric = metric;
+      md.baseline = bval;
+      md.candidate = cit->second;
+      md.change_pct = relative_change_pct(bval, cit->second);
+      rd.metrics.push_back(md);
+
+      for (const Watch& w : watches) {
+        if (w.metric != metric) continue;
+        // Movement in the bad direction, as a positive percentage.
+        const double bad_pct =
+            w.higher_is_better ? -md.change_pct : md.change_pct;
+        if (bad_pct > w.pct) {
+          out.regressions.push_back({rd.key, metric, bval, cit->second,
+                                     bad_pct, w.pct});
+        }
+      }
+    }
+    out.rows.push_back(std::move(rd));
+  }
+  for (const Row& c : cand) {
+    if (matched_cand.count(c.key) == 0) out.candidate_only.push_back(c.key);
+  }
+  return out;
+}
+
+DiffResult diff_files(const std::string& baseline_path,
+                      const std::string& candidate_path,
+                      const std::vector<Watch>& watches) {
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw igc::Error("cannot read " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  return diff(slurp(baseline_path), slurp(candidate_path), watches);
+}
+
+std::string DiffResult::report(const std::vector<Watch>& watches) const {
+  std::string out;
+  out += "bench_diff: " + std::to_string(baseline_rows) + " baseline row(s), " +
+         std::to_string(candidate_rows) + " candidate row(s), " +
+         std::to_string(matched) + " matched\n";
+
+  auto watched = [&](const std::string& metric) {
+    for (const Watch& w : watches) {
+      if (w.metric == metric) return true;
+    }
+    return false;
+  };
+  for (const RowDelta& rd : rows) {
+    for (const MetricDelta& md : rd.metrics) {
+      if (!watches.empty() && !watched(md.metric)) continue;
+      out += "  " + rd.key + "  " + md.metric + ": ";
+      append_num(out, md.baseline);
+      out += " -> ";
+      append_num(out, md.candidate);
+      out += " (";
+      if (md.change_pct >= 0.0) out += '+';
+      append_num(out, md.change_pct);
+      out += "%)\n";
+    }
+  }
+  for (const std::string& k : baseline_only) {
+    out += "  baseline-only row (no candidate match): " + k + "\n";
+  }
+  for (const std::string& k : candidate_only) {
+    out += "  candidate-only row (no baseline match): " + k + "\n";
+  }
+  if (regressions.empty()) {
+    out += "OK: no watched metric regressed";
+    if (!watches.empty()) {
+      out += " (";
+      for (size_t i = 0; i < watches.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += watches[i].metric + ":";
+        append_num(out, watches[i].pct);
+        out += '%';
+      }
+      out += ")";
+    }
+    out += "\n";
+  } else {
+    out += "REGRESSION: " + std::to_string(regressions.size()) +
+           " watched metric(s) over threshold\n";
+    for (const Regression& r : regressions) {
+      out += "  " + r.key + "  " + r.metric + ": ";
+      append_num(out, r.baseline);
+      out += " -> ";
+      append_num(out, r.candidate);
+      out += " (";
+      append_num(out, r.change_pct);
+      out += "% worse, threshold ";
+      append_num(out, r.threshold_pct);
+      out += "%)\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace igc::obs::benchdiff

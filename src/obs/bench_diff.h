@@ -1,0 +1,84 @@
+// Row-by-row comparison of two BENCH_*.json files — the perf-regression
+// gate's library half (the bench_diff CLI is a thin wrapper).
+//
+// Rows are matched on their identity key — (bench, schema_version,
+// platform, model, mode) plus backend / numerics / config when present —
+// so a regenerated bench lines up with a committed baseline row for row.
+// Duplicate keys within one file get an occurrence ordinal, keeping the
+// match positional among duplicates.
+//
+// For each matched pair, every numeric field present in both rows gets a
+// delta. A *watch* ("host_ms_per_run:10%") turns a delta into a gate:
+// movement in the metric's bad direction beyond the threshold is a
+// regression. Direction is inferred from the name (throughput/speedup/rate
+// metrics are higher-is-better; times/bytes lower) unless the spec pins it
+// with a leading '+' (higher is better) or '-' (lower is better).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace igc::obs::benchdiff {
+
+struct Watch {
+  std::string metric;
+  double pct = 0.0;          // regression threshold, percent
+  bool higher_is_better = false;
+};
+
+/// Parses "metric:pct%" (the '%' is optional; a '+'/'-' prefix pins the
+/// direction). Returns false on malformed specs.
+bool parse_watch(const std::string& spec, Watch* out);
+
+/// Direction heuristic used when a spec carries no prefix.
+bool infer_higher_is_better(const std::string& metric);
+
+struct MetricDelta {
+  std::string metric;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  /// Signed relative change in percent, (candidate-baseline)/|baseline|.
+  double change_pct = 0.0;
+};
+
+struct RowDelta {
+  std::string key;
+  std::vector<MetricDelta> metrics;  // every numeric field shared by both rows
+};
+
+struct Regression {
+  std::string key;
+  std::string metric;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double change_pct = 0.0;    // movement in the bad direction, positive
+  double threshold_pct = 0.0;
+};
+
+struct DiffResult {
+  int baseline_rows = 0;
+  int candidate_rows = 0;
+  int matched = 0;
+  std::vector<std::string> baseline_only;   // keys missing from candidate
+  std::vector<std::string> candidate_only;  // keys missing from baseline
+  std::vector<RowDelta> rows;               // matched rows, baseline order
+  std::vector<Regression> regressions;      // watched metrics over threshold
+
+  bool ok() const { return regressions.empty(); }
+  /// Human-readable table: per-row watched deltas, unmatched keys, verdict.
+  std::string report(const std::vector<Watch>& watches) const;
+};
+
+/// Diffs two JSONL documents (one bench row per line; blank lines skipped).
+/// Raises igc::Error on malformed JSON.
+DiffResult diff(const std::string& baseline_jsonl,
+                const std::string& candidate_jsonl,
+                const std::vector<Watch>& watches);
+
+/// diff() over files; raises igc::Error when either is unreadable.
+DiffResult diff_files(const std::string& baseline_path,
+                      const std::string& candidate_path,
+                      const std::vector<Watch>& watches);
+
+}  // namespace igc::obs::benchdiff

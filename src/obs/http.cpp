@@ -1,0 +1,182 @@
+#include "obs/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/prom.h"
+#include "obs/sampler.h"
+
+namespace igc::obs {
+namespace {
+
+std::string status_line(int code) {
+  switch (code) {
+    case 200: return "HTTP/1.1 200 OK";
+    case 404: return "HTTP/1.1 404 Not Found";
+    case 405: return "HTTP/1.1 405 Method Not Allowed";
+    default: return "HTTP/1.1 400 Bad Request";
+  }
+}
+
+std::string make_response(int code, const std::string& content_type,
+                          const std::string& body) {
+  std::string out = status_line(code);
+  out += "\r\nContent-Type: " + content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void send_all(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer gone; nothing useful to do
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer() : MetricsHttpServer(Options{}) {}
+
+MetricsHttpServer::MetricsHttpServer(Options opts) : opts_(std::move(opts)) {
+  registry_ = opts_.registry != nullptr ? opts_.registry
+                                        : &MetricsRegistry::global();
+}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+bool MetricsHttpServer::start(std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+  if (running_.load(std::memory_order_acquire)) return true;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return fail("inet_pton(" + opts_.bind_address + ")");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return fail("bind(" + opts_.bind_address + ":" +
+                std::to_string(opts_.port) + ")");
+  }
+  if (::listen(listen_fd_, 16) != 0) return fail("listen");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void MetricsHttpServer::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void MetricsHttpServer::accept_loop() {
+  // Poll with a short timeout so stop() is observed promptly without
+  // platform-specific accept-interruption tricks.
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (r <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    handle_connection(conn);
+    ::close(conn);
+  }
+}
+
+void MetricsHttpServer::handle_connection(int fd) const {
+  // Read until the end of the request headers (or a small cap — the
+  // endpoints take no bodies).
+  std::string req;
+  char buf[2048];
+  while (req.size() < 16 * 1024 && req.find("\r\n\r\n") == std::string::npos) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, /*timeout_ms=*/2000) <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    req.append(buf, static_cast<size_t>(n));
+  }
+
+  // Request line: METHOD SP PATH SP VERSION.
+  const size_t eol = req.find("\r\n");
+  const std::string line = eol == std::string::npos ? req : req.substr(0, eol);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : line.find(' ', sp1 + 1);
+  std::string method, path;
+  if (sp1 != std::string::npos && sp2 != std::string::npos) {
+    method = line.substr(0, sp1);
+    path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const size_t q = path.find('?');
+    if (q != std::string::npos) path.resize(q);
+  }
+  send_all(fd, respond(method, path));
+}
+
+std::string MetricsHttpServer::respond(const std::string& method,
+                                       const std::string& path) const {
+  if (method != "GET") {
+    return make_response(405, "text/plain; charset=utf-8",
+                         "only GET is supported\n");
+  }
+  if (path == "/healthz") {
+    return make_response(200, "text/plain; charset=utf-8", "ok\n");
+  }
+  if (path == "/metrics") {
+    return make_response(
+        200, prom_content_type(),
+        to_prometheus(registry_->snapshot(), opts_.const_labels));
+  }
+  if (path == "/snapshot.json") {
+    return make_response(200, "application/json",
+                         registry_->snapshot().json());
+  }
+  if (path == "/series.json" && opts_.sampler != nullptr) {
+    return make_response(200, "application/json",
+                         opts_.sampler->series_json());
+  }
+  return make_response(404, "text/plain; charset=utf-8",
+                       "unknown endpoint; try /metrics /healthz "
+                       "/snapshot.json /series.json\n");
+}
+
+}  // namespace igc::obs

@@ -1,0 +1,81 @@
+// Minimal blocking HTTP/1.1 listener serving the telemetry endpoints:
+//
+//   GET /metrics        Prometheus text exposition of the registry
+//   GET /healthz        liveness probe ("ok")
+//   GET /snapshot.json  one-shot registry snapshot (the --metrics document)
+//   GET /series.json    sampler time series (404 unless a sampler is wired)
+//
+// Scope: one background thread, one connection at a time, GET only — a
+// scrape target, not a web server. Requests are answered from a fresh
+// registry snapshot, so a scrape never blocks a hot path beyond the
+// registry's map mutex.
+//
+// Security: binds 127.0.0.1 by default — the metrics surface is
+// unauthenticated and must not face a network unless Options::bind_address
+// is deliberately widened (see the DESIGN.md caveat).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace igc::obs {
+
+class TelemetrySampler;
+
+class MetricsHttpServer {
+ public:
+  struct Options {
+    /// TCP port; 0 binds an ephemeral port (read it back via port()).
+    uint16_t port = 0;
+    /// Loopback-only by default; widen deliberately (see header comment).
+    std::string bind_address = "127.0.0.1";
+    /// Registry served; defaults to the process-wide one.
+    MetricsRegistry* registry = nullptr;
+    /// When set, /series.json serves this sampler's time series. Must
+    /// outlive the server.
+    const TelemetrySampler* sampler = nullptr;
+    /// Labels stamped onto every Prometheus sample (model, platform, ...).
+    std::map<std::string, std::string> const_labels;
+  };
+
+  MetricsHttpServer();
+  explicit MetricsHttpServer(Options opts);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds, listens, and spawns the accept thread. Returns false (with the
+  /// reason in *error when given) on bind/listen failure. No-op when
+  /// already running.
+  bool start(std::string* error = nullptr);
+  /// Stops the accept loop and joins the thread. Idempotent.
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Bound port (the resolved one when Options::port was 0); 0 before
+  /// start().
+  int port() const { return port_; }
+
+  /// Builds the HTTP response for one request line (exposed for tests; the
+  /// socket layer calls this). `path` excludes any query string.
+  std::string respond(const std::string& method, const std::string& path) const;
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd) const;
+
+  Options opts_;
+  MetricsRegistry* registry_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread thread_;
+};
+
+}  // namespace igc::obs

@@ -1,0 +1,69 @@
+#include "obs/latency_histogram.h"
+
+#include <algorithm>
+
+namespace igc::obs {
+
+double LatencyHistogram::percentile(double p) const {
+  const int64_t n = count();
+  if (n <= 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  int64_t rank = static_cast<int64_t>(std::ceil(p * static_cast<double>(n)));
+  rank = std::clamp<int64_t>(rank, 1, n);
+  int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += bucket(i);
+    if (seen >= rank) return bucket_representative(i);
+  }
+  // Concurrent writers can make count() momentarily run ahead of the bucket
+  // totals; answer with the highest occupied bucket.
+  for (int i = kBuckets - 1; i >= 0; --i) {
+    if (bucket(i) > 0) return bucket_representative(i);
+  }
+  return 0.0;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    const int64_t n = other.bucket(i);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  const double add = other.sum();
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (
+      !sum_.compare_exchange_weak(cur, cur + add, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+LatencyHistogram::BucketList LatencyHistogram::nonzero_buckets() const {
+  BucketList out;
+  for (int i = 0; i < kBuckets; ++i) {
+    const int64_t n = bucket(i);
+    if (n != 0) out.emplace_back(i, n);
+  }
+  return out;
+}
+
+double LatencyHistogram::percentile_of(const BucketList& buckets,
+                                       int64_t count, double p) {
+  if (count <= 0 || buckets.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  int64_t rank =
+      static_cast<int64_t>(std::ceil(p * static_cast<double>(count)));
+  rank = std::clamp<int64_t>(rank, 1, count);
+  int64_t seen = 0;
+  for (const auto& [i, n] : buckets) {
+    seen += n;
+    if (seen >= rank) return bucket_representative(i);
+  }
+  return bucket_representative(buckets.back().first);
+}
+
+}  // namespace igc::obs

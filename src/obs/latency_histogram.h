@@ -1,0 +1,119 @@
+// Log-bucketed latency histogram with bounded relative error — the serving
+// telemetry substrate (HDR-histogram style, sized for millisecond latencies).
+//
+// Values are bucketed on a logarithmic grid: kSubBuckets buckets per power
+// of two, spanning [kMinValue, kMinValue * 2^kOctaves). percentile(p) walks
+// the cumulative counts and answers with the geometric midpoint of the
+// bucket holding the requested rank, so for any sample distribution the
+// reported quantile is within
+//
+//     max_relative_error() == 2^(1 / (2 * kSubBuckets)) - 1   (~1.09%)
+//
+// of an exact (sorted-sample) quantile, independent of the distribution's
+// shape — spikes, bimodal mixes, and heavy tails all honor the same bound.
+// Values below kMinValue land in a dedicated underflow bucket reported as
+// 0.0; values at or above the top clamp into the last bucket.
+//
+// Concurrency: observe() touches three relaxed atomics (bucket, count, sum)
+// and never allocates, so hot paths on many threads can share one instance.
+// Counts are conserved exactly: the sum over bucket(i) always equals
+// count() once concurrent writers have quiesced. merge() is associative and
+// commutative (pure bucket-wise addition), so per-thread histograms can be
+// combined in any order.
+//
+// This header is std-only (the obs/metrics.h rule): low layers record
+// latencies without pulling in graph/sim types.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace igc::obs {
+
+class LatencyHistogram {
+ public:
+  /// Buckets per power of two. 32 gives ~1.09% worst-case quantile error.
+  static constexpr int kSubBuckets = 32;
+  /// Powers of two covered above kMinValue. 64 octaves over 1e-6 spans
+  /// [1e-6, ~1.8e13] — nanoseconds to centuries when the unit is ms.
+  static constexpr int kOctaves = 64;
+  /// Bucket 0 is the underflow bucket for values < kMinValue (and <= 0).
+  static constexpr int kBuckets = kOctaves * kSubBuckets + 1;
+  static constexpr double kMinValue = 1e-6;
+
+  /// Worst-case relative error of percentile() for in-range samples:
+  /// half a bucket's width in log space.
+  static double max_relative_error() {
+    return std::exp2(1.0 / (2.0 * kSubBuckets)) - 1.0;
+  }
+
+  /// Bucket index of `v`: 0 for v < kMinValue, else
+  /// 1 + floor(log2(v / kMinValue) * kSubBuckets), clamped to the top.
+  static int bucket_index(double v) {
+    if (!(v >= kMinValue)) return 0;  // also catches NaN
+    const int i = 1 + static_cast<int>(
+                          std::floor(std::log2(v / kMinValue) * kSubBuckets));
+    return i >= kBuckets ? kBuckets - 1 : i;
+  }
+
+  /// Inclusive upper bound of bucket `i` (the Prometheus `le` bound).
+  /// Bucket 0's bound is kMinValue.
+  static double bucket_upper_bound(int i) {
+    if (i <= 0) return kMinValue;
+    return kMinValue * std::exp2(static_cast<double>(i) / kSubBuckets);
+  }
+
+  /// Representative value reported for a rank landing in bucket `i`: the
+  /// geometric midpoint of the bucket's bounds (0.0 for the underflow
+  /// bucket, whose samples are below the resolution floor by definition).
+  static double bucket_representative(int i) {
+    if (i <= 0) return 0.0;
+    return kMinValue * std::exp2((static_cast<double>(i) - 0.5) / kSubBuckets);
+  }
+
+  void observe(double v) {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    const double sample = std::isfinite(v) && v > 0.0 ? v : 0.0;
+    while (!sum_.compare_exchange_weak(cur, cur + sample,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Quantile query, p in [0, 1]: the representative value of the bucket
+  /// holding rank ceil(p * count). Returns 0.0 on an empty histogram.
+  double percentile(double p) const;
+
+  /// Bucket-wise addition of `other` into this histogram.
+  void merge(const LatencyHistogram& other);
+
+  void reset();
+
+  /// (bucket index, count) pairs of the non-empty buckets, ascending — the
+  /// compact form snapshots and exporters carry.
+  using BucketList = std::vector<std::pair<int, int64_t>>;
+  BucketList nonzero_buckets() const;
+
+  /// percentile() over a detached bucket list (snapshot deltas answer
+  /// quantile queries without the live instrument). `buckets` must be
+  /// index-ascending with non-negative counts summing to `count`.
+  static double percentile_of(const BucketList& buckets, int64_t count,
+                              double p);
+
+ private:
+  std::atomic<int64_t> buckets_[kBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+}  // namespace igc::obs

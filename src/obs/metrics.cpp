@@ -18,6 +18,18 @@ void append_kv(std::string& out, const std::string& key, int64_t value,
   out += buf;
 }
 
+void append_kv_double(std::string& out, const std::string& key, double value,
+                      bool& first) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out += first ? "" : ", ";
+  first = false;
+  out += '"';
+  out += key;
+  out += "\": ";
+  out += buf;
+}
+
 }  // namespace
 
 MetricsRegistry& MetricsRegistry::global() {
@@ -55,9 +67,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     MetricsSnapshot::Hist hs;
     hs.count = h->count();
     hs.sum = h->sum();
-    for (int i = 0; i < Histogram::kBuckets; ++i) {
-      if (h->bucket(i) != 0) hs.buckets.emplace_back(i, h->bucket(i));
-    }
+    hs.buckets = h->nonzero_buckets();
     s.histograms[name] = std::move(hs);
   }
   return s;
@@ -82,7 +92,7 @@ MetricsSnapshot MetricsSnapshot::delta_to(const MetricsSnapshot& later) const {
     auto it = histograms.find(name);
     const Hist* base = it == histograms.end() ? nullptr : &it->second;
     dh.count = h.count - (base ? base->count : 0);
-    dh.sum = h.sum - (base ? base->sum : 0);
+    dh.sum = h.sum - (base ? base->sum : 0.0);
     std::map<int, int64_t> buckets(h.buckets.begin(), h.buckets.end());
     if (base != nullptr) {
       for (const auto& [i, n] : base->buckets) buckets[i] -= n;
@@ -106,11 +116,14 @@ std::string MetricsSnapshot::json() const {
     out += '"' + name + "\": {";
     bool hf = true;
     append_kv(out, "count", h.count, hf);
-    append_kv(out, "sum", h.sum, hf);
+    append_kv_double(out, "sum", h.sum, hf);
+    append_kv_double(out, "p50", h.percentile(0.50), hf);
+    append_kv_double(out, "p95", h.percentile(0.95), hf);
+    append_kv_double(out, "p99", h.percentile(0.99), hf);
     out += ", \"buckets\": {";
     bool bf = true;
     for (const auto& [i, n] : h.buckets) {
-      append_kv(out, "p2_" + std::to_string(i), n, bf);
+      append_kv(out, "b_" + std::to_string(i), n, bf);
     }
     out += "}}";
   }

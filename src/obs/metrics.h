@@ -9,10 +9,13 @@
 // This header is deliberately dependency-free (std only) so that low layers
 // (tensor, tune) can record metrics without depending on graph/sim types.
 //
-// Conventions:
+// Conventions (the full catalog lives in DESIGN.md):
 //   * counters are monotone event counts ("arena.acquires", "exec.copies");
 //   * gauges record last-set or high-water values ("arena.high_water_bytes");
-//   * histograms bucket int64 samples by power of two ("exec.node_us").
+//   * histograms are log-bucketed latency/value distributions with
+//     percentile queries ("run.latency_ms" — see obs/latency_histogram.h);
+//   * names are dot-separated families with a unit suffix where one applies
+//     (_ms, _us, _bytes, _pct; suffix-free names are plain counts).
 #pragma once
 
 #include <atomic>
@@ -22,6 +25,8 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/latency_histogram.h"
 
 namespace igc::obs {
 
@@ -52,45 +57,23 @@ class Gauge {
   std::atomic<int64_t> v_{0};
 };
 
-/// Fixed power-of-two-bucket histogram of non-negative int64 samples.
-/// Bucket i counts samples with bit_width(value) == i (bucket 0: value 0).
-class Histogram {
- public:
-  static constexpr int kBuckets = 64;
-
-  void observe(int64_t v) {
-    if (v < 0) v = 0;
-    int b = 0;
-    for (uint64_t u = static_cast<uint64_t>(v); u != 0; u >>= 1) ++b;
-    buckets_[b].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    sum_.fetch_add(v, std::memory_order_relaxed);
-  }
-
-  int64_t count() const { return count_.load(std::memory_order_relaxed); }
-  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
-  int64_t bucket(int i) const {
-    return buckets_[i].load(std::memory_order_relaxed);
-  }
-  void reset() {
-    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-    count_.store(0, std::memory_order_relaxed);
-    sum_.store(0, std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<int64_t> buckets_[kBuckets] = {};
-  std::atomic<int64_t> count_{0};
-  std::atomic<int64_t> sum_{0};
-};
+/// Registry histograms are log-bucketed latency histograms (HDR-style,
+/// ~1.09% worst-case quantile error, mergeable across threads): observe()
+/// takes a double, percentile(p) answers tail-latency queries.
+using Histogram = LatencyHistogram;
 
 /// Point-in-time copy of every instrument's value, comparable with ==.
 /// Deltas between snapshots taken around a run isolate that run's activity.
 struct MetricsSnapshot {
   struct Hist {
     int64_t count = 0;
-    int64_t sum = 0;
-    std::vector<std::pair<int, int64_t>> buckets;  // non-empty buckets only
+    double sum = 0.0;
+    LatencyHistogram::BucketList buckets;  // non-empty buckets only
+    /// Quantile of the captured distribution (works on deltas too, since
+    /// bucket subtraction preserves the log grid).
+    double percentile(double p) const {
+      return LatencyHistogram::percentile_of(buckets, count, p);
+    }
     bool operator==(const Hist&) const = default;
   };
   std::map<std::string, int64_t> counters;

@@ -1,0 +1,137 @@
+#include "obs/prom.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace igc::obs {
+namespace {
+
+bool valid_name_char(char c, bool first) {
+  const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                     c == '_' || c == ':';
+  if (first) return alpha;
+  return alpha || (c >= '0' && c <= '9');
+}
+
+void append_int(std::string& out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+void append_num(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+/// Renders `{k="v",...}` from the const labels; empty labels render nothing.
+/// `extra` appends one preformatted label (the histogram `le`).
+std::string label_block(const std::map<std::string, std::string>& labels,
+                        const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    out += first ? "" : ",";
+    first = false;
+    out += prom_metric_name(k) + "=\"" + prom_escape_label_value(v) + '"';
+  }
+  if (!extra.empty()) {
+    out += first ? "" : ",";
+    out += extra;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string prom_metric_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && !valid_name_char(name[0], /*first=*/true)) {
+    out += '_';
+    // A leading digit is kept after the '_' prefix; other invalid leading
+    // bytes fall through to the replacement below.
+    if (name[0] >= '0' && name[0] <= '9') out += name[0];
+  } else if (!name.empty()) {
+    out += name[0];
+  }
+  for (size_t i = 1; i < name.size(); ++i) {
+    out += valid_name_char(name[i], /*first=*/false) ? name[i] : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string prom_escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string to_prometheus(
+    const MetricsSnapshot& snap,
+    const std::map<std::string, std::string>& const_labels) {
+  const std::string labels = label_block(const_labels);
+  std::string out;
+
+  for (const auto& [name, v] : snap.counters) {
+    const std::string pname = prom_metric_name(name);
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + "_total" + labels + " ";
+    append_int(out, v);
+    out += "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string pname = prom_metric_name(name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + labels + " ";
+    append_int(out, v);
+    out += "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string pname = prom_metric_name(name);
+    out += "# TYPE " + pname + " histogram\n";
+    // Cumulative counts at each occupied bucket's upper bound. The bucket
+    // list is index-ascending, so the le bounds are strictly increasing and
+    // the cumulative counts monotone — both exposition-format requirements.
+    int64_t cumulative = 0;
+    for (const auto& [i, n] : h.buckets) {
+      cumulative += n;
+      std::string le = "le=\"";
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.9g",
+                    LatencyHistogram::bucket_upper_bound(i));
+      le += buf;
+      le += '"';
+      out += pname + "_bucket" + label_block(const_labels, le) + " ";
+      append_int(out, cumulative);
+      out += "\n";
+    }
+    // A snapshot racing an observe() can see a bucket increment before the
+    // matching count increment; keep le="+Inf" monotone regardless.
+    const int64_t total = h.count > cumulative ? h.count : cumulative;
+    out += pname + "_bucket" + label_block(const_labels, "le=\"+Inf\"") + " ";
+    append_int(out, total);
+    out += "\n";
+    out += pname + "_sum" + labels + " ";
+    append_num(out, h.sum);
+    out += "\n";
+    out += pname + "_count" + labels + " ";
+    append_int(out, total);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace igc::obs

@@ -1,0 +1,41 @@
+// Prometheus text-exposition (version 0.0.4) rendering of a metrics
+// snapshot — what the /metrics endpoint serves.
+//
+// Mapping:
+//   * counters  -> "<name>_total" with "# TYPE <name> counter";
+//   * gauges    -> "<name>" with "# TYPE <name> gauge";
+//   * histograms-> "<name>_bucket{le=...}" cumulative series over the
+//     LatencyHistogram's log grid (non-empty buckets only, plus the
+//     mandatory le="+Inf"), "<name>_sum", and "<name>_count".
+//
+// Names are sanitized to the Prometheus grammar [a-zA-Z_:][a-zA-Z0-9_:]*
+// ('.' and every other invalid byte become '_', a leading digit gains a '_'
+// prefix), and label values are escaped per the exposition format ('\',
+// '"', and newline). `const_labels` are attached to every sample — the
+// serving endpoints use them to stamp model/platform identity.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace igc::obs {
+
+/// Sanitizes `name` into a valid Prometheus metric name.
+std::string prom_metric_name(const std::string& name);
+
+/// Escapes a label value for the text exposition format.
+std::string prom_escape_label_value(const std::string& value);
+
+/// Renders the snapshot as Prometheus text exposition.
+std::string to_prometheus(
+    const MetricsSnapshot& snap,
+    const std::map<std::string, std::string>& const_labels = {});
+
+/// Content-Type the exposition format mandates.
+inline const char* prom_content_type() {
+  return "text/plain; version=0.0.4; charset=utf-8";
+}
+
+}  // namespace igc::obs

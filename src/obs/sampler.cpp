@@ -1,0 +1,181 @@
+#include "obs/sampler.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace igc::obs {
+namespace {
+
+void append_num(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+void append_int(std::string& out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+}  // namespace
+
+TelemetrySampler::TelemetrySampler() : TelemetrySampler(Options{}) {}
+
+TelemetrySampler::TelemetrySampler(Options opts) : opts_(std::move(opts)) {
+  registry_ = opts_.registry != nullptr ? opts_.registry
+                                        : &MetricsRegistry::global();
+  if (opts_.interval_ms < 1) opts_.interval_ms = 1;
+  if (opts_.capacity < 1) opts_.capacity = 1;
+  if (!opts_.clock) {
+    opts_.clock = [epoch = std::chrono::steady_clock::now()] {
+      return std::chrono::duration_cast<std::chrono::milliseconds>(
+                 std::chrono::steady_clock::now() - epoch)
+          .count();
+    };
+  }
+}
+
+TelemetrySampler::~TelemetrySampler() { stop(); }
+
+void TelemetrySampler::start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+    running_ = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_requested_ = false;
+  }
+  sample_now();  // baseline sample at t=start
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void TelemetrySampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_requested_ = true;
+  }
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool TelemetrySampler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void TelemetrySampler::thread_main() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait_for(lock, std::chrono::milliseconds(opts_.interval_ms),
+                        [this] { return stop_requested_; });
+      if (stop_requested_) return;
+    }
+    sample_now();
+  }
+}
+
+void TelemetrySampler::sample_now() {
+  // The snapshot is taken outside the ring mutex (it takes the registry's
+  // own lock), then appended as one unit — a reader can never observe a
+  // half-written sample.
+  TelemetrySample s;
+  s.t_ms = opts_.clock();
+  s.snapshot = registry_->snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(s));
+  ++total_;
+  while (ring_.size() > opts_.capacity) ring_.pop_front();
+}
+
+std::vector<TelemetrySample> TelemetrySampler::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+int64_t TelemetrySampler::total_samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::string TelemetrySampler::series_json() const {
+  const std::vector<TelemetrySample> samples = this->samples();
+  int64_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total = total_;
+  }
+
+  std::string out = "{\"schema_version\": 1, \"interval_ms\": ";
+  append_int(out, opts_.interval_ms);
+  out += ", \"capacity\": ";
+  append_int(out, static_cast<int64_t>(opts_.capacity));
+  out += ", \"total_samples\": ";
+  append_int(out, total);
+  out += ", \"evicted_samples\": ";
+  append_int(out, total - static_cast<int64_t>(samples.size()));
+  out += ", \"samples\": [";
+
+  const MetricsSnapshot empty;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const MetricsSnapshot& base =
+        i == 0 ? empty : samples[i - 1].snapshot;
+    const MetricsSnapshot d = base.delta_to(samples[i].snapshot);
+    if (i != 0) out += ", ";
+    out += "{\"t_ms\": ";
+    append_int(out, samples[i].t_ms);
+    out += ", \"base\": ";
+    out += i == 0 ? "true" : "false";
+
+    out += ", \"counters\": {";
+    bool first = true;
+    for (const auto& [name, v] : d.counters) {
+      out += first ? "" : ", ";
+      first = false;
+      out += '"' + json::escape(name) + "\": ";
+      append_int(out, v);
+    }
+    out += "}, \"gauges\": {";
+    first = true;
+    for (const auto& [name, v] : d.gauges) {
+      out += first ? "" : ", ";
+      first = false;
+      out += '"' + json::escape(name) + "\": ";
+      append_int(out, v);
+    }
+    out += "}, \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : d.histograms) {
+      out += first ? "" : ", ";
+      first = false;
+      out += '"' + json::escape(name) + "\": {\"count\": ";
+      append_int(out, h.count);
+      out += ", \"sum\": ";
+      append_num(out, h.sum);
+      out += ", \"p50\": ";
+      append_num(out, h.percentile(0.50));
+      out += ", \"p95\": ";
+      append_num(out, h.percentile(0.95));
+      out += ", \"p99\": ";
+      append_num(out, h.percentile(0.99));
+      out += "}";
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace igc::obs

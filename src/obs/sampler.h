@@ -1,0 +1,101 @@
+// TelemetrySampler: periodic registry snapshots into a fixed-capacity
+// time-series ring buffer — the "watch a long-running process" layer the
+// one-shot snapshot JSON cannot provide.
+//
+// A background thread wakes every interval_ms, snapshots the registry (one
+// consistent MetricsSnapshot object per tick — samples are never torn: the
+// ring is only ever appended to under its mutex, and readers copy out under
+// the same mutex), stamps it with a monotonic timestamp, and appends it to
+// the ring. When the ring is full the oldest sample is evicted; the sampler
+// keeps running forever at O(capacity) memory.
+//
+// Timestamps come from an injectable clock (Options::clock), so tests drive
+// sample_now() with a scripted clock and get byte-deterministic series JSON.
+// The default clock is std::chrono::steady_clock milliseconds since the
+// sampler was constructed — monotonic by construction.
+//
+// Lifecycle: start() spawns the thread (idempotent), stop() joins it
+// (idempotent; the destructor calls it). start/stop cycles are allowed.
+// sample_now() is thread-safe and works with or without the thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace igc::obs {
+
+struct TelemetrySample {
+  int64_t t_ms = 0;          // monotonic timestamp from the sampler's clock
+  MetricsSnapshot snapshot;  // absolute instrument values at t_ms
+};
+
+class TelemetrySampler {
+ public:
+  struct Options {
+    /// Wall-clock period of the background thread.
+    int interval_ms = 1000;
+    /// Ring capacity; the newest `capacity` samples are retained.
+    size_t capacity = 600;
+    /// Monotonic millisecond clock. Defaults to steady_clock since
+    /// construction; tests inject a scripted clock for determinism.
+    std::function<int64_t()> clock;
+    /// Registry to snapshot; defaults to the process-wide one.
+    MetricsRegistry* registry = nullptr;
+  };
+
+  TelemetrySampler();
+  explicit TelemetrySampler(Options opts);
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Spawns the sampling thread; takes one sample immediately so the series
+  /// always has a baseline. No-op when already running.
+  void start();
+  /// Stops and joins the thread. No-op when not running. Retained samples
+  /// stay readable after stop().
+  void stop();
+  bool running() const;
+
+  /// Takes one sample synchronously (also the thread's tick body).
+  void sample_now();
+
+  /// Copy of the retained ring, oldest first.
+  std::vector<TelemetrySample> samples() const;
+  /// Samples ever taken, including evicted ones.
+  int64_t total_samples() const;
+  int interval_ms() const { return opts_.interval_ms; }
+
+  /// Time-series JSON: one entry per retained sample carrying monotonic
+  /// t_ms, counter/histogram movement since the previous retained sample
+  /// (the oldest entry is absolute and flagged "base": true), gauge values,
+  /// and per-histogram p50/p95/p99 of that window's samples.
+  std::string series_json() const;
+
+ private:
+  void thread_main();
+
+  Options opts_;
+  MetricsRegistry* registry_;
+
+  mutable std::mutex mu_;  // guards ring_, total_, running_
+  std::deque<TelemetrySample> ring_;
+  int64_t total_ = 0;
+  bool running_ = false;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace igc::obs

@@ -12,6 +12,13 @@ namespace igc::tune {
 namespace {
 
 obs::Counter& trials_counter() {
+  static auto& c = obs::MetricsRegistry::global().counter("tune.trials");
+  return c;
+}
+
+// Deprecated alias of tune.trials (the family is named after the tune/
+// module); dual-recorded for one release — see DESIGN.md.
+obs::Counter& legacy_trials_counter() {
   static auto& c = obs::MetricsRegistry::global().counter("tuner.trials");
   return c;
 }
@@ -31,6 +38,7 @@ class Recorder {
     IGC_CHECK_GT(ms, 0.0);
     ++trials_;
     trials_counter().add(1);
+    legacy_trials_counter().add(1);
     xs_.push_back(config_features(cfg));
     ys_.push_back(ms);
     if (ms < best_ms_) {

@@ -65,6 +65,18 @@ void validate_row(const obs::json::Value& row, const std::string& source) {
   if (v >= 4 && row.at("bench").as_string() == "serving") {
     EXPECT_TRUE(row.has("backend")) << source;
   }
+  if (v >= 5 && row.at("bench").as_string() == "serving") {
+    // v5: serving rows carry host-latency percentiles in order.
+    for (const char* field : {"host_p50_ms", "host_p95_ms", "host_p99_ms"}) {
+      ASSERT_TRUE(row.has(field)) << source << " missing " << field;
+    }
+    const double p50 = row.at("host_p50_ms").as_number();
+    const double p95 = row.at("host_p95_ms").as_number();
+    const double p99 = row.at("host_p99_ms").as_number();
+    EXPECT_GT(p50, 0.0) << source;
+    EXPECT_LE(p50, p95) << source;
+    EXPECT_LE(p95, p99) << source;
+  }
   if (row.at("bench").as_string() == "serving_jit_summary") {
     // The JIT serving comparison only ships when it reproduces the
     // interpreter exactly: same bits, same simulated latency, faster host.

@@ -101,7 +101,12 @@ class JsonObject {
 /// v5: serving rows carry host-side per-run latency percentiles
 ///     ("host_p50_ms" <= "host_p95_ms" <= "host_p99_ms", from the
 ///     log-bucketed obs::LatencyHistogram).
-inline constexpr int kBenchSchemaVersion = 5;
+/// v6: open-loop engine rows (bench "serving_engine", mode "engine") carry
+///     the offered/served traffic block: "tenants", "workers",
+///     "offered_per_s", "goodput_per_s", admission accounting
+///     (submitted/admitted/shed/rejected), end-to-end and queue-wait
+///     percentile triples, and "batch_size_mean".
+inline constexpr int kBenchSchemaVersion = 6;
 
 /// Starts a row carrying the shared metadata header every BENCH_*.json line
 /// leads with: bench name, schema version, platform, model, executor mode

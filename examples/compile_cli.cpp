@@ -16,18 +16,27 @@
 // --tune-journal records every tuning trial to a JSONL flight-recorder
 // file, and --metrics writes a JSON snapshot of the process-wide metrics
 // registry.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "core/compiler.h"
 #include "models/models.h"
 #include "obs/http.h"
+#include "obs/latency_histogram.h"
 #include "obs/metrics.h"
 #include "obs/roofline.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
+#include "serve/arrivals.h"
+#include "serve/engine.h"
 #include "sim/device_spec.h"
 #include "tune/journal.h"
 #include "tune/tunedb.h"
@@ -52,6 +61,16 @@ bool parse_int_arg(const char* s, long lo, long hi, long* out) {
   char* end = nullptr;
   const long v = std::strtol(s, &end, 10);
   if (end == s || *end != '\0' || v < lo || v > hi) return false;
+  *out = v;
+  return true;
+}
+
+// Strict floating-point flag value in [lo, hi]; rejects trailing garbage
+// (and NaN, which fails both range comparisons).
+bool parse_double_arg(const char* s, double lo, double hi, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || !(v >= lo) || !(v <= hi)) return false;
   *out = v;
   return true;
 }
@@ -109,6 +128,23 @@ void usage(const char* argv0, std::FILE* out) {
       "  --metrics-interval-ms N telemetry sampler period (default 1000)\n"
       "  --serve-runs N          serving-loop run count (default 0 = keep\n"
       "                          running until the process is killed)\n"
+      "  --serve                 open-loop serving-engine demo: N tenants of\n"
+      "                          this model behind the request queue +\n"
+      "                          dynamic batcher + worker pool, driven by\n"
+      "                          Poisson arrivals (shapes-only runs; service\n"
+      "                          time is the scaled simulated latency).\n"
+      "                          Combines with --serve-metrics to scrape the\n"
+      "                          serve.* family live.\n"
+      "  --serve-tenants N       demo tenant count (default 2)\n"
+      "  --serve-rate R          total offered arrival rate, req/s, float\n"
+      "                          (default 200)\n"
+      "  --serve-duration-ms D   demo offered-load window, float ms\n"
+      "                          (default 1000)\n"
+      "  --serve-workers N       worker threads (default 2)\n"
+      "  --serve-batch N         max dynamic batch size (default 8)\n"
+      "  --serve-wait-ms W       max batch wait, float ms (default 2.0)\n"
+      "  --serve-pacing P        simulated-device pacing factor, float\n"
+      "                          (default 0.05; 0 = host-speed service)\n"
       "other:\n"
       "  --dump-graph, --dump-kernels, --help\n",
       argv0);
@@ -135,8 +171,11 @@ int main(int argc, char** argv) {
   bool dump_graph = false, dump_kernels = false;
   bool wavefront = false, arena = false, report = false;
   bool counters = false, roofline = false, jit_stats = false;
-  bool serve = false;
+  bool serve = false, serve_demo = false;
   long serve_port = 0, metrics_interval_ms = 1000, serve_runs = 0;
+  long serve_tenants = 2, serve_workers = 2, serve_batch = 8;
+  double serve_rate = 200.0, serve_duration_ms = 1000.0;
+  double serve_wait_ms = 2.0, serve_pacing = 0.05;
   std::string save_db, load_db, trace_path, metrics_path, journal_path;
   tune::TuneJournal journal;
   for (int i = 3; i < argc; ++i) {
@@ -174,6 +213,51 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--serve-runs") && i + 1 < argc) {
       if (!parse_int_arg(argv[++i], 0, 1000000000, &serve_runs)) {
         std::fprintf(stderr, "bad --serve-runs '%s'\n\n", argv[i]);
+        usage(argv[0], stderr);
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--serve")) {
+      serve_demo = true;
+    } else if (!std::strcmp(argv[i], "--serve-tenants") && i + 1 < argc) {
+      if (!parse_int_arg(argv[++i], 1, 64, &serve_tenants)) {
+        std::fprintf(stderr, "bad --serve-tenants '%s'\n\n", argv[i]);
+        usage(argv[0], stderr);
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--serve-workers") && i + 1 < argc) {
+      if (!parse_int_arg(argv[++i], 1, 64, &serve_workers)) {
+        std::fprintf(stderr, "bad --serve-workers '%s'\n\n", argv[i]);
+        usage(argv[0], stderr);
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--serve-batch") && i + 1 < argc) {
+      if (!parse_int_arg(argv[++i], 1, 256, &serve_batch)) {
+        std::fprintf(stderr, "bad --serve-batch '%s'\n\n", argv[i]);
+        usage(argv[0], stderr);
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--serve-rate") && i + 1 < argc) {
+      if (!parse_double_arg(argv[++i], 1e-3, 1e6, &serve_rate)) {
+        std::fprintf(stderr, "bad --serve-rate '%s'\n\n", argv[i]);
+        usage(argv[0], stderr);
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--serve-duration-ms") && i + 1 < argc) {
+      if (!parse_double_arg(argv[++i], 1.0, 3600.0 * 1000.0,
+                            &serve_duration_ms)) {
+        std::fprintf(stderr, "bad --serve-duration-ms '%s'\n\n", argv[i]);
+        usage(argv[0], stderr);
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--serve-wait-ms") && i + 1 < argc) {
+      if (!parse_double_arg(argv[++i], 0.0, 10000.0, &serve_wait_ms)) {
+        std::fprintf(stderr, "bad --serve-wait-ms '%s'\n\n", argv[i]);
+        usage(argv[0], stderr);
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--serve-pacing") && i + 1 < argc) {
+      if (!parse_double_arg(argv[++i], 0.0, 1000.0, &serve_pacing)) {
+        std::fprintf(stderr, "bad --serve-pacing '%s'\n\n", argv[i]);
         usage(argv[0], stderr);
         return 2;
       }
@@ -367,6 +451,118 @@ int main(int argc, char** argv) {
     for (const auto& [key, src] : cm.generated_sources()) {
       std::printf("\n-- %s --\n%s", key.c_str(), src.c_str());
     }
+  }
+
+  if (serve_demo) {
+    // Open-loop serving-engine demo: N tenants of this one compiled model
+    // behind the request queue + dynamic batcher + worker pool, offered a
+    // Poisson arrival stream. Shapes-only runs (the demo measures the
+    // serving layer, not host numerics); each request holds its worker for
+    // the scaled simulated latency, like a worker blocked on its device.
+    obs::TelemetrySampler::Options sopts;
+    sopts.interval_ms = static_cast<int>(metrics_interval_ms);
+    obs::TelemetrySampler sampler(sopts);
+    obs::MetricsHttpServer::Options hopts;
+    hopts.port = static_cast<uint16_t>(serve_port);
+    hopts.sampler = &sampler;
+    hopts.const_labels = {{"model", model_name}, {"platform", platform.name}};
+    obs::MetricsHttpServer server(hopts);
+    if (serve) {
+      sampler.start();
+      std::string err;
+      if (!server.start(&err)) {
+        std::fprintf(stderr, "--serve-metrics failed: %s\n", err.c_str());
+        return 1;
+      }
+      std::printf("serving telemetry on http://127.0.0.1:%d/metrics\n",
+                  server.port());
+      std::fflush(stdout);
+    }
+
+    serve::EngineOptions eo;
+    eo.num_workers = static_cast<int>(serve_workers);
+    eo.queue.max_depth = 256;
+    eo.queue.max_batch_size = static_cast<int>(serve_batch);
+    eo.queue.max_wait_ms = serve_wait_ms;
+    eo.sim_pacing = serve_pacing;
+    serve::ServingEngine engine(eo);
+    for (long t = 0; t < serve_tenants; ++t) {
+      serve::TenantSpec spec;
+      spec.name = model_name + "#" + std::to_string(t);
+      spec.model = &cm;
+      spec.run.mode = ropts.mode;
+      spec.run.compute_numerics = false;
+      spec.run.use_arena = true;
+      engine.add_tenant(std::move(spec));
+    }
+    engine.start();
+
+    std::printf("\n-- open-loop serving demo: %ld tenants x %s, %.0f req/s "
+                "offered for %.0f ms, %ld workers, batch<=%ld, wait %.1f ms, "
+                "pacing %.3g --\n",
+                serve_tenants, model_name.c_str(), serve_rate,
+                serve_duration_ms, serve_workers, serve_batch, serve_wait_ms,
+                serve_pacing);
+    std::vector<std::pair<double, int>> schedule;  // (arrival ms, tenant)
+    for (long t = 0; t < serve_tenants; ++t) {
+      const auto times = serve::poisson_arrival_times_ms(
+          serve_rate / static_cast<double>(serve_tenants), serve_duration_ms,
+          0xc11u + static_cast<uint64_t>(t));
+      for (double at : times) schedule.emplace_back(at, static_cast<int>(t));
+    }
+    std::sort(schedule.begin(), schedule.end());
+
+    std::vector<std::future<serve::RequestOutcome>> futures;
+    futures.reserve(schedule.size());
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < schedule.size(); ++i) {
+      std::this_thread::sleep_until(
+          t0 + std::chrono::duration<double, std::milli>(schedule[i].first));
+      serve::SubmitResult sr =
+          engine.submit(schedule[i].second, static_cast<uint64_t>(i));
+      if (sr.admitted()) futures.push_back(std::move(sr.outcome));
+    }
+    engine.stop();
+    const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+
+    obs::LatencyHistogram e2e, qwait;
+    for (auto& f : futures) {
+      const serve::RequestOutcome o = f.get();
+      e2e.observe(o.e2e_ms());
+      qwait.observe(o.queue_wait_ms());
+    }
+    const serve::EngineStats s = engine.stats();
+    std::printf("  offered %lld, admitted %lld, shed %lld, rejected %lld; "
+                "completed %lld in %.0f ms (goodput %.1f req/s)\n",
+                static_cast<long long>(s.submitted),
+                static_cast<long long>(s.admitted),
+                static_cast<long long>(s.shed),
+                static_cast<long long>(s.rejected_full + s.rejected_shutdown),
+                static_cast<long long>(s.completed), elapsed_ms,
+                elapsed_ms > 0 ? s.completed * 1000.0 / elapsed_ms : 0.0);
+    std::printf("  batches %lld (mean size %.2f), queue depth peak %d\n",
+                static_cast<long long>(s.batches),
+                s.batches > 0 ? static_cast<double>(s.completed) /
+                                    static_cast<double>(s.batches)
+                              : 0.0,
+                s.queue_depth_peak);
+    std::printf("  e2e p50/p95/p99: %.2f/%.2f/%.2f ms; queue-wait "
+                "p50/p95/p99: %.2f/%.2f/%.2f ms\n",
+                e2e.percentile(0.50), e2e.percentile(0.95),
+                e2e.percentile(0.99), qwait.percentile(0.50),
+                qwait.percentile(0.95), qwait.percentile(0.99));
+    for (long t = 0; t < serve_tenants; ++t) {
+      std::printf("  %-24s completed %lld\n", engine.tenant_name(t).c_str(),
+                  static_cast<long long>(
+                      s.completed_per_tenant[static_cast<size_t>(t)]));
+    }
+    if (serve) {
+      server.stop();
+      sampler.stop();
+    }
+    return 0;
   }
 
   if (serve) {

@@ -92,7 +92,14 @@ RunResult CompiledModel::run(const RunOptions& opts) const {
   }
 
   std::unique_lock<std::mutex> serving_lock;
-  if (opts.use_arena) {
+  if (opts.serving_context != nullptr) {
+    // A worker-private context: the caller guarantees exclusivity, so no
+    // model-wide lock — this is what lets a serving pool run one model
+    // concurrently across workers.
+    eopts.use_arena = true;
+    eopts.plan = &opts.serving_context->plan_;
+    eopts.arena = opts.serving_context->arena_.get();
+  } else if (opts.use_arena) {
     // Arena runs share one set of buffers, so they serialize on the model.
     serving_lock = std::unique_lock<std::mutex>(serving_->mu);
     if (serving_->arena == nullptr) {
@@ -157,6 +164,17 @@ RunResult CompiledModel::run(uint64_t input_seed, bool compute_numerics) const {
 
 graph::MemoryPlan CompiledModel::memory_plan() const {
   return graph::plan_memory(graph_);
+}
+
+int64_t ServingContext::arena_bytes() const {
+  return arena_ == nullptr ? 0 : arena_->capacity_bytes();
+}
+
+std::unique_ptr<ServingContext> CompiledModel::make_serving_context() const {
+  auto ctx = std::unique_ptr<ServingContext>(new ServingContext());
+  ctx->plan_ = graph::plan_memory(graph_);
+  ctx->arena_ = std::make_unique<BufferArena>(ctx->plan_.buffer_bytes);
+  return ctx;
 }
 
 std::vector<std::string> CompiledModel::pass_pipeline() const {

@@ -94,6 +94,25 @@ struct CompileOptions {
 /// compile() prepared.
 enum class RunBackend { kAuto, kInterp, kJit };
 
+/// Private serving state for one worker thread: a memory plan plus a
+/// plan-backed BufferArena for one model. A run that passes a context
+/// through RunOptions::serving_context uses these buffers instead of the
+/// model-wide shared arena — and skips that arena's mutex — so a pool of
+/// workers can serve the same CompiledModel concurrently, each on its own
+/// context. The caller guarantees at most one run uses a given context at a
+/// time (a worker thread owning one context per tenant model satisfies
+/// this). Created by CompiledModel::make_serving_context().
+class ServingContext {
+ public:
+  int64_t arena_bytes() const;
+
+ private:
+  friend class CompiledModel;
+  ServingContext() = default;
+  graph::MemoryPlan plan_;
+  std::unique_ptr<BufferArena> arena_;
+};
+
 /// Knobs for one inference call. Outputs are bit-identical across every
 /// combination of mode/use_arena/backend for a fixed input_seed.
 struct RunOptions {
@@ -118,6 +137,11 @@ struct RunOptions {
   /// on a model compiled without a JIT module just runs the reference path
   /// (there is nothing compiled to dispatch to).
   RunBackend backend = RunBackend::kAuto;
+  /// When set, intermediate tensors come from this context's private arena
+  /// (use_arena is implied) and the run skips the model-wide arena mutex.
+  /// The context must come from this model's make_serving_context(); at
+  /// most one run may use it at a time (see ServingContext).
+  ServingContext* serving_context = nullptr;
 };
 
 struct RunResult {
@@ -162,6 +186,10 @@ class CompiledModel {
   const std::map<int, int>& layouts() const { return layouts_; }
   /// Static memory plan of the optimized graph.
   graph::MemoryPlan memory_plan() const;
+
+  /// Builds a private plan + arena for one serving worker (see
+  /// ServingContext / RunOptions::serving_context).
+  std::unique_ptr<ServingContext> make_serving_context() const;
 
   /// Table view of the optimized, placed graph (Graph::summary).
   std::string graph_summary() const { return graph_.summary(); }

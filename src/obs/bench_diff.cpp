@@ -109,8 +109,8 @@ bool infer_higher_is_better(const std::string& metric) {
   // everything unrecognized improve downward (the conservative default for
   // a latency-focused bench suite).
   static constexpr const char* kHigherBetter[] = {
-      "runs_per_s", "per_s", "speedup", "gflops", "gbps", "throughput",
-      "ops_per", "hit_rate"};
+      "runs_per_s", "per_s",   "speedup",    "gflops",  "gbps",
+      "throughput", "ops_per", "hit_rate",   "goodput", "qps"};
   for (const char* token : kHigherBetter) {
     if (metric.find(token) != std::string::npos) return true;
   }

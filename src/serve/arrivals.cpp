@@ -1,0 +1,32 @@
+#include "serve/arrivals.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace igc::serve {
+
+std::vector<double> poisson_arrival_times_ms(double rate_per_s,
+                                             double duration_ms,
+                                             uint64_t seed) {
+  if (!(rate_per_s > 0.0) || !(duration_ms > 0.0)) {
+    throw Error("poisson_arrival_times_ms: rate and duration must be > 0");
+  }
+  Rng rng(seed);
+  const double mean_gap_ms = 1000.0 / rate_per_s;
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(duration_ms / mean_gap_ms) + 8);
+  double t = 0.0;
+  for (;;) {
+    // Inverse-CDF sample of Exp(rate): -ln(1-u) * mean, u in [0, 1).
+    // log1p(-u) is exact near u=0, where -log(1-u) would cancel.
+    const double u = rng.next_double();
+    t += -std::log1p(-u) * mean_gap_ms;
+    if (t >= duration_ms) break;
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace igc::serve

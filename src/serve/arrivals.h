@@ -1,0 +1,27 @@
+// Open-loop arrival generation for the serving engine and its benches.
+//
+// An open-loop load generator submits requests on a schedule that does NOT
+// depend on how fast the server answers (unlike the closed-loop repeated
+// run() benches, which can never overload the system). The classic model is
+// a Poisson process: independent exponential inter-arrival gaps with mean
+// 1/rate.
+//
+// The schedule is a pure function of (rate, duration, seed) through the
+// repo-wide deterministic Rng — no wall-clock reads — so tests and benches
+// replay identical arrival patterns on every machine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace igc::serve {
+
+/// Arrival offsets (milliseconds from the start of the run, strictly
+/// covering [0, duration_ms)) of a Poisson process with the given rate.
+/// Deterministic for fixed arguments; different seeds give independent
+/// streams (one per tenant, say). rate_per_s and duration_ms must be > 0.
+std::vector<double> poisson_arrival_times_ms(double rate_per_s,
+                                             double duration_ms,
+                                             uint64_t seed);
+
+}  // namespace igc::serve

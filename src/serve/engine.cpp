@@ -1,0 +1,258 @@
+#include "serve/engine.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/error.h"
+
+namespace igc::serve {
+
+namespace {
+
+std::function<double()> default_clock() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return [t0] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+}
+
+}  // namespace
+
+ServingEngine::ServingEngine(EngineOptions opts) : opts_(std::move(opts)) {
+  if (opts_.num_workers < 1) {
+    throw Error("ServingEngine: num_workers must be >= 1");
+  }
+  if (opts_.sim_pacing < 0.0) {
+    throw Error("ServingEngine: sim_pacing must be >= 0");
+  }
+  if (!opts_.clock_ms) opts_.clock_ms = default_clock();
+  auto& reg = opts_.registry != nullptr ? *opts_.registry
+                                        : obs::MetricsRegistry::global();
+  m_submitted_ = &reg.counter("serve.submitted");
+  m_admitted_ = &reg.counter("serve.admitted");
+  m_rejected_ = &reg.counter("serve.rejected");
+  m_shed_ = &reg.counter("serve.shed");
+  m_completed_ = &reg.counter("serve.completed");
+  m_batches_ = &reg.counter("serve.batches");
+  m_queue_depth_ = &reg.gauge("serve.queue_depth");
+  m_queue_depth_peak_ = &reg.gauge("serve.queue_depth_peak");
+  m_batch_size_ = &reg.histogram("serve.batch_size");
+  m_queue_wait_ = &reg.histogram("serve.queue_wait_ms");
+  m_service_ = &reg.histogram("serve.service_ms");
+  m_e2e_ = &reg.histogram("serve.e2e_ms");
+}
+
+ServingEngine::~ServingEngine() { stop(); }
+
+int ServingEngine::add_tenant(TenantSpec spec) {
+  if (spec.model == nullptr) throw Error("ServingEngine: tenant needs a model");
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  if (started_) throw Error("ServingEngine: add_tenant() after start()");
+  tenants_.push_back(std::move(spec));
+  completed_per_tenant_.push_back(std::make_unique<std::atomic<int64_t>>(0));
+  return static_cast<int>(tenants_.size()) - 1;
+}
+
+const std::string& ServingEngine::tenant_name(int tenant) const {
+  return tenants_.at(static_cast<size_t>(tenant)).name;
+}
+
+void ServingEngine::start() {
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  if (started_) return;
+  if (tenants_.empty()) throw Error("ServingEngine: start() with no tenants");
+  RequestQueue::Options qopts = opts_.queue;
+  qopts.num_tenants = static_cast<int>(tenants_.size());
+  queue_ = std::make_unique<RequestQueue>(qopts);
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  scheduler_ = std::thread([this] { scheduler_main(); });
+  workers_.reserve(static_cast<size_t>(opts_.num_workers));
+  for (int w = 0; w < opts_.num_workers; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+void ServingEngine::record_refusal(Admission a) {
+  switch (a) {
+    case Admission::kShedWatermark:
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      m_shed_->add();
+      break;
+    case Admission::kRejectedQueueFull:
+      rejected_full_.fetch_add(1, std::memory_order_relaxed);
+      m_rejected_->add();
+      break;
+    case Admission::kRejectedShutdown:
+      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      m_rejected_->add();
+      break;
+    case Admission::kRejectedUnknownTenant:
+      rejected_unknown_.fetch_add(1, std::memory_order_relaxed);
+      m_rejected_->add();
+      break;
+    case Admission::kAdmitted:
+      break;
+  }
+}
+
+SubmitResult ServingEngine::submit(int tenant, uint64_t input_seed) {
+  SubmitResult out;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  m_submitted_->add();
+  if (!running_.load(std::memory_order_acquire)) {
+    out.admission = Admission::kRejectedShutdown;
+    record_refusal(out.admission);
+    return out;
+  }
+  auto req = std::make_unique<Request>();
+  req->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  req->tenant = tenant;
+  req->input_seed = input_seed;
+  std::future<RequestOutcome> fut = req->done.get_future();
+
+  const Admission a = queue_->offer(req, opts_.clock_ms());
+  out.admission = a;
+  if (a != Admission::kAdmitted) {
+    record_refusal(a);
+    return out;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  m_admitted_->add();
+  const int depth = queue_->depth();
+  m_queue_depth_->set(depth);
+  m_queue_depth_peak_->update_max(depth);
+  int peak = depth_peak_.load(std::memory_order_relaxed);
+  while (depth > peak && !depth_peak_.compare_exchange_weak(
+                             peak, depth, std::memory_order_relaxed)) {
+  }
+  out.outcome = std::move(fut);
+  return out;
+}
+
+void ServingEngine::scheduler_main() {
+  for (;;) {
+    std::optional<Batch> b = queue_->pop_batch(opts_.clock_ms);
+    if (!b.has_value()) break;  // closed and drained
+    const double now = opts_.clock_ms();
+    for (RequestPtr& r : b->requests) {
+      // schedule_ms (and queue-wait) are stamped here, at batch formation;
+      // start_ms follows once a worker picks the batch up.
+      m_queue_wait_->observe(now - r->enqueue_ms);
+    }
+    b->formed_ms = now;
+    batches_formed_.fetch_add(1, std::memory_order_relaxed);
+    m_batches_->add();
+    m_batch_size_->observe(static_cast<double>(b->size()));
+    m_queue_depth_->set(queue_->depth());
+
+    std::unique_lock<std::mutex> lk(batch_mu_);
+    batch_cv_.wait(lk, [this] {
+      return static_cast<int>(batches_.size()) < opts_.num_workers;
+    });
+    batches_.push_back(std::move(*b));
+    batch_cv_.notify_all();
+  }
+  std::lock_guard<std::mutex> lk(batch_mu_);
+  scheduler_done_ = true;
+  batch_cv_.notify_all();
+}
+
+void ServingEngine::worker_main(int worker_id) {
+  (void)worker_id;
+  // One private ServingContext per tenant, built lazily on this worker's
+  // first batch of that tenant: the plan-backed arena is reused across every
+  // subsequent request the worker serves for the tenant — steady-state
+  // serving allocates no intermediate tensors.
+  std::vector<std::unique_ptr<ServingContext>> contexts(tenants_.size());
+  for (;;) {
+    Batch batch;
+    {
+      std::unique_lock<std::mutex> lk(batch_mu_);
+      batch_cv_.wait(lk, [this] {
+        return !batches_.empty() || scheduler_done_;
+      });
+      if (batches_.empty()) return;  // scheduler done and queue drained
+      batch = std::move(batches_.front());
+      batches_.pop_front();
+      batch_cv_.notify_all();  // wake the scheduler's bounded-queue wait
+    }
+    execute_batch(std::move(batch), contexts);
+  }
+}
+
+void ServingEngine::execute_batch(
+    Batch batch, std::vector<std::unique_ptr<ServingContext>>& contexts) {
+  const TenantSpec& tenant = tenants_[static_cast<size_t>(batch.tenant)];
+  auto& ctx = contexts[static_cast<size_t>(batch.tenant)];
+  if (ctx == nullptr && tenant.run.use_arena) {
+    ctx = tenant.model->make_serving_context();
+  }
+  for (RequestPtr& req : batch.requests) {
+    RequestOutcome outcome;
+    outcome.id = req->id;
+    outcome.tenant = req->tenant;
+    outcome.enqueue_ms = req->enqueue_ms;
+    outcome.schedule_ms = batch.formed_ms;
+    outcome.batch_size = batch.size();
+    outcome.start_ms = opts_.clock_ms();
+    RunOptions ropts = tenant.run;
+    ropts.input_seed = req->input_seed;
+    ropts.serving_context = ctx.get();
+    try {
+      const RunResult r = tenant.model->run(ropts);
+      outcome.sim_latency_ms = r.latency_ms;
+      if (opts_.sim_pacing > 0.0) {
+        // Device-bound service stage: block for the scaled simulated time.
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            r.latency_ms * opts_.sim_pacing));
+      }
+      outcome.finish_ms = opts_.clock_ms();
+      m_service_->observe(outcome.service_ms());
+      m_e2e_->observe(outcome.e2e_ms());
+      m_completed_->add();
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      completed_per_tenant_[static_cast<size_t>(req->tenant)]->fetch_add(
+          1, std::memory_order_relaxed);
+      req->done.set_value(outcome);
+    } catch (...) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      req->done.set_exception(std::current_exception());
+    }
+  }
+}
+
+void ServingEngine::stop() {
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  running_.store(false, std::memory_order_release);
+  queue_->close();  // scheduler drains remaining lanes, then signals done
+  scheduler_.join();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  m_queue_depth_->set(0);
+}
+
+EngineStats ServingEngine::stats() const {
+  EngineStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.rejected_full = rejected_full_.load(std::memory_order_relaxed);
+  s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  s.rejected_unknown_tenant = rejected_unknown_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.batches = batches_formed_.load(std::memory_order_relaxed);
+  s.queue_depth_peak = depth_peak_.load(std::memory_order_relaxed);
+  s.completed_per_tenant.reserve(completed_per_tenant_.size());
+  for (const auto& c : completed_per_tenant_) {
+    s.completed_per_tenant.push_back(c->load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+}  // namespace igc::serve

@@ -77,6 +77,45 @@ void validate_row(const obs::json::Value& row, const std::string& source) {
     EXPECT_LE(p50, p95) << source;
     EXPECT_LE(p95, p99) << source;
   }
+  if (row.at("bench").as_string() == "serving_engine") {
+    // v6: open-loop engine rows carry the offered/served traffic block with
+    // conserving admission accounting and ordered latency percentiles.
+    EXPECT_GE(v, 6) << source;
+    for (const char* field :
+         {"tenants", "workers", "offered_per_s", "goodput_per_s", "submitted",
+          "admitted", "shed", "rejected", "completed", "batches",
+          "batch_size_mean", "queue_depth_peak"}) {
+      ASSERT_TRUE(row.has(field)) << source << " missing " << field;
+    }
+    EXPECT_GE(row.at("tenants").as_int(), 1) << source;
+    EXPECT_GE(row.at("workers").as_int(), 1) << source;
+    EXPECT_GT(row.at("offered_per_s").as_number(), 0.0) << source;
+    EXPECT_GT(row.at("goodput_per_s").as_number(), 0.0) << source;
+    EXPECT_EQ(row.at("submitted").as_int(),
+              row.at("admitted").as_int() + row.at("shed").as_int() +
+                  row.at("rejected").as_int())
+        << source << ": admission accounting must conserve";
+    EXPECT_EQ(row.at("admitted").as_int(), row.at("completed").as_int())
+        << source << ": engine rows are emitted after a full drain";
+    for (const char* prefix : {"e2e", "queue_wait"}) {
+      const std::string p50_key = std::string(prefix) + "_p50_ms";
+      const std::string p95_key = std::string(prefix) + "_p95_ms";
+      const std::string p99_key = std::string(prefix) + "_p99_ms";
+      ASSERT_TRUE(row.has(p50_key)) << source << " missing " << p50_key;
+      ASSERT_TRUE(row.has(p95_key)) << source << " missing " << p95_key;
+      ASSERT_TRUE(row.has(p99_key)) << source << " missing " << p99_key;
+      const double p50 = row.at(p50_key).as_number();
+      const double p95 = row.at(p95_key).as_number();
+      const double p99 = row.at(p99_key).as_number();
+      EXPECT_GE(p50, 0.0) << source;
+      EXPECT_LE(p50, p95) << source;
+      EXPECT_LE(p95, p99) << source;
+    }
+  }
+  if (row.at("bench").as_string() == "serving_engine_summary") {
+    // Shipped only when the worker pool actually scales goodput.
+    EXPECT_GT(row.at("worker_scaling").as_number(), 1.0) << source;
+  }
   if (row.at("bench").as_string() == "serving_jit_summary") {
     // The JIT serving comparison only ships when it reproduces the
     // interpreter exactly: same bits, same simulated latency, faster host.

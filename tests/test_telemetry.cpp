@@ -36,6 +36,7 @@
 #include "obs/metrics.h"
 #include "obs/prom.h"
 #include "obs/sampler.h"
+#include "serve/engine.h"
 #include "sim/device_spec.h"
 
 namespace igc {
@@ -327,6 +328,66 @@ TEST(TelemetrySampler, RunsCleanlyDuringConcurrentWavefrontRuns) {
   EXPECT_GE(doc.at("samples").size(), 1u);
 }
 
+TEST(TelemetrySampler, ServeFamilyAppearsInSeriesWithoutSchemaDrift) {
+  // The serving engine's serve.* instruments live in an ordinary registry,
+  // so the sampler picks them up through the same counters/gauges/
+  // histograms sections every other family uses — no new schema keys.
+  obs::MetricsRegistry reg;
+  int64_t now_ms = 0;
+  obs::TelemetrySampler::Options opts;
+  opts.interval_ms = 10;
+  opts.capacity = 8;
+  opts.registry = &reg;
+  opts.clock = [&now_ms] { return now_ms; };
+  obs::TelemetrySampler sampler(opts);
+
+  Rng rng(7);
+  CompileOptions copts;
+  copts.skip_tuning = true;
+  const sim::Platform& plat = sim::platform(sim::PlatformId::kDeepLens);
+  const CompiledModel cm =
+      compile(models::build_squeezenet(rng, 64, 1, 10), plat, copts);
+  serve::EngineOptions eo;
+  eo.num_workers = 2;
+  eo.registry = &reg;
+  serve::ServingEngine engine(eo);
+  serve::TenantSpec spec;
+  spec.name = "t0";
+  spec.model = &cm;
+  spec.run.compute_numerics = false;
+  spec.run.use_arena = true;
+  engine.add_tenant(std::move(spec));
+  engine.start();
+  std::vector<std::future<serve::RequestOutcome>> futures;
+  for (int i = 0; i < 12; ++i) {
+    serve::SubmitResult r = engine.submit(0, static_cast<uint64_t>(i));
+    if (r.admitted()) futures.push_back(std::move(r.outcome));
+  }
+  engine.stop();
+  for (auto& f : futures) f.get();
+  sampler.sample_now();
+
+  const serve::EngineStats s = engine.stats();
+  const obs::json::Value doc = obs::json::parse(sampler.series_json());
+  EXPECT_EQ(doc.at("total_samples").as_int(), 1);
+  const auto& sample = doc.at("samples").as_array()[0];
+  const auto& counters = sample.at("counters");
+  EXPECT_EQ(counters.at("serve.submitted").as_int(), s.submitted);
+  EXPECT_EQ(counters.at("serve.admitted").as_int(), s.admitted);
+  EXPECT_EQ(counters.at("serve.completed").as_int(), s.completed);
+  EXPECT_EQ(counters.at("serve.batches").as_int(), s.batches);
+  const auto& hists = sample.at("histograms");
+  EXPECT_EQ(hists.at("serve.e2e_ms").at("count").as_int(), s.completed);
+  EXPECT_EQ(hists.at("serve.queue_wait_ms").at("count").as_int(), s.admitted);
+  EXPECT_EQ(hists.at("serve.service_ms").at("count").as_int(), s.completed);
+  EXPECT_EQ(hists.at("serve.batch_size").at("count").as_int(), s.batches);
+  // stop() zeroes the live depth gauge; the peak gauge keeps its high-water
+  // mark. Both ride in the standard gauges section.
+  EXPECT_EQ(sample.at("gauges").at("serve.queue_depth").as_int(), 0);
+  EXPECT_EQ(sample.at("gauges").at("serve.queue_depth_peak").as_int(),
+            static_cast<int64_t>(s.queue_depth_peak));
+}
+
 // ----- Prometheus exporter ---------------------------------------------------
 
 TEST(Prometheus, MetricNameSanitization) {
@@ -589,6 +650,28 @@ TEST(BenchDiff, UnmatchedRowsAreReportedNotFatal) {
   ASSERT_EQ(result.baseline_only.size(), 1u);
   ASSERT_EQ(result.candidate_only.size(), 1u);
   EXPECT_NE(result.baseline_only[0].find("wavefront"), std::string::npos);
+}
+
+TEST(BenchDiff, ThroughputDirectionTokens) {
+  // Serving-engine goodput rows (and any qps/throughput metric) must gate
+  // in the higher-is-better direction without a +/- pin in the watch spec.
+  EXPECT_TRUE(obs::benchdiff::infer_higher_is_better("goodput_per_s"));
+  EXPECT_TRUE(obs::benchdiff::infer_higher_is_better("goodput"));
+  EXPECT_TRUE(obs::benchdiff::infer_higher_is_better("qps"));
+  EXPECT_TRUE(obs::benchdiff::infer_higher_is_better("engine_qps"));
+  EXPECT_TRUE(obs::benchdiff::infer_higher_is_better("throughput"));
+  EXPECT_TRUE(obs::benchdiff::infer_higher_is_better("host_throughput_gbps"));
+  // Latency-ish names stay lower-is-better.
+  EXPECT_FALSE(obs::benchdiff::infer_higher_is_better("e2e_p99_ms"));
+  EXPECT_FALSE(obs::benchdiff::infer_higher_is_better("queue_wait_p50_ms"));
+
+  Watch w;
+  ASSERT_TRUE(obs::benchdiff::parse_watch("goodput_per_s:25%", &w));
+  EXPECT_TRUE(w.higher_is_better);
+  ASSERT_TRUE(obs::benchdiff::parse_watch("qps:5%", &w));
+  EXPECT_TRUE(w.higher_is_better);
+  ASSERT_TRUE(obs::benchdiff::parse_watch("throughput:5%", &w));
+  EXPECT_TRUE(w.higher_is_better);
 }
 
 TEST(BenchDiff, DuplicateKeysMatchPositionally) {

@@ -106,7 +106,16 @@ class JsonObject {
 ///     "offered_per_s", "goodput_per_s", admission accounting
 ///     (submitted/admitted/shed/rejected), end-to-end and queue-wait
 ///     percentile triples, and "batch_size_mean".
-inline constexpr int kBenchSchemaVersion = 6;
+/// v7: serving and serving_engine rows carry the paged-arena memory block:
+///     "arena_peak_bytes" (serving rows: the run's high-water of planned
+///     intermediate bytes when arena-backed, 0 otherwise; engine rows: the
+///     shared PagePool's physical high-water across the whole cell) and
+///     "arena_page_bytes" (serving rows: page bytes the arena still held
+///     when the run finished; engine rows: the pool's mapped extent bytes).
+///     Mixed-resolution engine cells additionally carry "slab_bytes" — what
+///     per-worker private slabs would have pinned — so dashboards can chart
+///     the paged-sharing win directly.
+inline constexpr int kBenchSchemaVersion = 7;
 
 /// Starts a row carrying the shared metadata header every BENCH_*.json line
 /// leads with: bench name, schema version, platform, model, executor mode

@@ -24,9 +24,14 @@
 // A final open-loop section drives the serving engine (src/serve) with
 // Poisson arrivals over two InceptionV1 tenants, sweeping worker count x
 // offered rate and reporting goodput, admission accounting, and e2e +
-// queue-wait percentiles (bench schema v6 "serving_engine" rows). In
-// --quick mode it runs exactly one cell (w2_r1500) so the CI gate can match
-// it against the committed baseline row.
+// queue-wait percentiles (bench schema v6 "serving_engine" rows). Every
+// engine row also carries the schema-v7 paged-arena memory block (the
+// shared PagePool's physical high-water and mapped footprint), and full
+// mode adds a mixed-resolution cell — the same model served at 224 and at a
+// dynamically-bound 300 over one pool — whose arena_peak_bytes vs
+// slab_bytes fields quantify the paged-sharing win over per-worker slabs.
+// In --quick mode the sweep runs exactly one cell (w2_r400) so the CI gate
+// can match it against the committed baseline row.
 //
 // Every row is also emitted as a JSON line into BENCH_serving.json (override
 // the path with argv[1]) for dashboards. Serving rows carry per-run host
@@ -125,9 +130,13 @@ struct EngineCell {
 
 /// One engine cell: build the engine, replay the deterministic arrival
 /// schedules, drain, and emit the row. Returns the measured goodput.
+/// `tenant_hw`, when non-empty, gives each tenant a dynamic input resolution
+/// (0 = the compiled seed) — the mixed-resolution sharing cell — and the row
+/// gains the "slab_bytes" comparison against per-worker private slabs.
 double run_engine_cell(std::FILE* jf, const igc::sim::Platform& plat,
                        const std::vector<const igc::CompiledModel*>& tenants,
-                       const EngineCell& cell, double duration_ms) {
+                       const EngineCell& cell, double duration_ms,
+                       const std::vector<int64_t>& tenant_hw = {}) {
   using namespace igc;  // NOLINT
   serve::EngineOptions eopts;
   eopts.num_workers = cell.workers;
@@ -147,6 +156,7 @@ double run_engine_cell(std::FILE* jf, const igc::sim::Platform& plat,
     spec.model = tenants[t];
     spec.run.compute_numerics = false;
     spec.run.use_arena = true;
+    if (t < tenant_hw.size()) spec.run.input_hw = tenant_hw[t];
     engine.add_tenant(std::move(spec));
   }
   engine.start();
@@ -189,7 +199,9 @@ double run_engine_cell(std::FILE* jf, const igc::sim::Platform& plat,
     e2e.observe(o.e2e_ms());
     queue_wait.observe(o.queue_wait_ms());
     service.observe(o.service_ms());
-    sim_latency_ms = o.sim_latency_ms;  // identical for every request
+    // Identical for every request of a tenant; the max keeps the field
+    // deterministic when mixed-resolution tenants differ.
+    sim_latency_ms = std::max(sim_latency_ms, o.sim_latency_ms);
   }
   const serve::EngineStats s = engine.stats();
   const double goodput =
@@ -201,9 +213,25 @@ double run_engine_cell(std::FILE* jf, const igc::sim::Platform& plat,
           ? static_cast<double>(s.completed) / static_cast<double>(s.batches)
           : 0.0;
 
-  char config[32];
-  std::snprintf(config, sizeof(config), "w%d_r%d", cell.workers,
-                static_cast<int>(cell.offered_per_s));
+  // Paged-arena memory block (schema v7): every worker context drew its
+  // pages from the engine-wide pool, so the pool's high-water IS the cell's
+  // peak physical intermediate memory, and extent_bytes its mapped footprint.
+  const std::shared_ptr<PagePool>& pool = engine.page_pool();
+  const int64_t arena_peak_bytes = pool != nullptr ? pool->peak_bytes_in_use() : 0;
+  const int64_t arena_page_bytes = pool != nullptr ? pool->extent_bytes() : 0;
+  // What (workers x tenants) private full-size slabs would have pinned — the
+  // pre-paging design this engine replaced.
+  int64_t slab_bytes = 0;
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    const int64_t hw = t < tenant_hw.size() ? tenant_hw[t] : 0;
+    slab_bytes += cell.workers *
+                  tenants[t]->make_serving_context(0, hw, nullptr)->arena_bytes();
+  }
+
+  char config[40];
+  std::snprintf(config, sizeof(config), "w%d_r%d%s", cell.workers,
+                static_cast<int>(cell.offered_per_s),
+                tenant_hw.empty() ? "" : "_mixed");
   std::printf("%-10s | %8.0f | %8.1f | %6lld %6lld %6lld | %6.2f | "
               "%.2f/%.2f/%.2f | %.2f/%.2f/%.2f\n",
               config, cell.offered_per_s, goodput,
@@ -236,8 +264,20 @@ double run_engine_cell(std::FILE* jf, const igc::sim::Platform& plat,
       .field("queue_wait_p99_ms", pq.p99)
       .field("service_p50_ms", service.percentile(0.50))
       .field("sim_latency_ms", sim_latency_ms)
+      .field("arena_peak_bytes", arena_peak_bytes)
+      .field("arena_page_bytes", arena_page_bytes)
       .field("backend", "interp")
       .field("numerics", false);
+  if (!tenant_hw.empty()) {
+    j.field("slab_bytes", slab_bytes);
+    std::printf("%-10s   paged pool peak %.2f MiB vs %.2f MiB of per-worker "
+                "slabs (%.1f%% saved)\n",
+                config,
+                static_cast<double>(arena_peak_bytes) / (1024.0 * 1024.0),
+                static_cast<double>(slab_bytes) / (1024.0 * 1024.0),
+                100.0 * (1.0 - static_cast<double>(arena_peak_bytes) /
+                                   static_cast<double>(slab_bytes)));
+  }
   j.emit(jf);
   j.emit(stdout);
   return goodput;
@@ -405,6 +445,11 @@ int main(int argc, char** argv) {
           .field("sim_critical_path_ms", r.rep.critical_path_ms)
           .field("peak_intermediate_bytes", r.rep.peak_intermediate_bytes)
           .field("arena_bytes", r.rep.arena_bytes)
+          // v7 memory block: the arena's planned-bytes high-water and the
+          // physical page bytes it kept mapped after the run.
+          .field("arena_peak_bytes",
+                 cfg.arena ? r.rep.peak_intermediate_bytes : int64_t{0})
+          .field("arena_page_bytes", r.rep.arena_page_bytes)
           // Shapes-only rows never invoke the JIT; the engine label still
           // says which path *would* compute numerics (schema v4).
           .field("backend", "interp")
@@ -530,6 +575,8 @@ int main(int argc, char** argv) {
           .field("sim_critical_path_ms", warm.critical_path_ms)
           .field("peak_intermediate_bytes", warm.peak_intermediate_bytes)
           .field("arena_bytes", warm.arena_bytes)
+          .field("arena_peak_bytes", warm.peak_intermediate_bytes)
+          .field("arena_page_bytes", warm.arena_page_bytes)
           .field("backend", b.label)
           .field("numerics", true)
           .field("output_matches_baseline", matches);
@@ -601,6 +648,20 @@ int main(int argc, char** argv) {
         if (cell.workers == 4) goodput_wmax = g;
       }
     }
+    // Mixed-resolution sharing cell (full mode): the same InceptionV1 served
+    // as two tenants — one at the compiled 224x224 seed, one dynamically
+    // bound to 300x300 — over ONE shared page pool. The row's
+    // arena_peak_bytes vs slab_bytes comparison shows paged sharing beating
+    // (workers x tenants) private slabs on peak memory.
+    if (!quick) {
+      std::printf("\n--- mixed-resolution tenants (224 + 300) on one shared "
+                  "page pool ---\n");
+      const std::vector<const CompiledModel*> mixed = {&workloads[0].cm,
+                                                       &workloads[0].cm};
+      run_engine_cell(jf, plat, mixed, {2, 400.0}, duration_ms,
+                      /*tenant_hw=*/{0, 300});
+    }
+
     if (!quick && goodput_w1 > 0.0) {
       const double scaling = goodput_wmax / goodput_w1;
       std::printf("goodput scaling at 1600/s offered (4 workers vs 1): "

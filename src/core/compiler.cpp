@@ -5,6 +5,8 @@
 #include "codegen/codegen.h"
 #include "codegen/jit.h"
 #include "codegen/jit_lower.h"
+#include "core/error.h"
+#include "graph/shape_infer.h"
 #include "graphtune/graph_tuner.h"
 #include "obs/metrics.h"
 #include "ops/nn/conv2d.h"
@@ -58,6 +60,12 @@ CompiledModel compile(models::Model model, const sim::Platform& platform,
     cm.conv_schedules_.emplace(id, std::move(cfg));
   }
 
+  // Plan memory once. Buffer assignment depends only on liveness, so every
+  // dynamic-shape binding reuses this plan with re-resolved sizes — zero
+  // replanning at run time (the graph.plan.plans metric stays flat).
+  cm.plan_ =
+      std::make_shared<const graph::MemoryPlan>(graph::plan_memory(cm.graph_));
+
   if (opts.backend == Backend::kJit) {
     auto& cache = codegen::jit::KernelCache::shared(opts.kernel_cache_dir);
     codegen::jit::LowerResult lr = codegen::jit::build_dispatch_table(
@@ -71,16 +79,32 @@ CompiledModel compile(models::Model model, const sim::Platform& platform,
 }
 
 RunResult CompiledModel::run(const RunOptions& opts) const {
+  // Resolve the shape binding first: a non-seed (batch, hw) runs the cached
+  // variant — rebound graph, re-resolved buffer sizes over the same buffer
+  // assignment, pre-resolved conv schedules. The seed binding runs the
+  // compiled graph exactly as before.
+  const graph::ShapeSpec& spec = graph_.shape_spec();
+  const ShapeVariant* variant = resolve_variant(opts.batch, opts.input_hw);
+  const graph::Graph& run_graph = variant != nullptr ? variant->graph : graph_;
+  const int64_t bound_batch =
+      variant != nullptr ? variant->batch : spec.seed_batch;
+  const int64_t bound_hw = variant != nullptr ? variant->hw : spec.seed_hw;
+
   graph::ExecOptions eopts;
   eopts.compute_numerics = opts.compute_numerics;
   eopts.use_tuned_configs = tuned_;
   eopts.db = &db_;
   eopts.conv_layout_block = layouts_;
-  eopts.conv_schedules = &conv_schedules_;
+  eopts.conv_schedules =
+      variant != nullptr ? &variant->conv_schedules : &conv_schedules_;
   eopts.mode = opts.mode;
   eopts.use_arena = opts.use_arena;
   eopts.trace = opts.trace;
-  if (opts.backend != RunBackend::kInterp) eopts.jit = jit_.get();
+  // JIT kernels are specialized to the seed shapes; non-seed bindings take
+  // the reference path (bit-identical numerics, host time only).
+  if (opts.backend != RunBackend::kInterp && variant == nullptr) {
+    eopts.jit = jit_.get();
+  }
   if (opts.trace != nullptr) {
     obs::TraceMeta meta;
     meta.model = name_;
@@ -96,25 +120,39 @@ RunResult CompiledModel::run(const RunOptions& opts) const {
     // A worker-private context: the caller guarantees exclusivity, so no
     // model-wide lock — this is what lets a serving pool run one model
     // concurrently across workers.
+    IGC_CHECK(opts.serving_context->batch_ == bound_batch &&
+              opts.serving_context->hw_ == bound_hw)
+        << "RunOptions shape binding (batch " << bound_batch << ", hw "
+        << bound_hw << ") does not match the serving context's (batch "
+        << opts.serving_context->batch_ << ", hw "
+        << opts.serving_context->hw_
+        << ") — build the context with make_serving_context(batch, hw, pool)";
     eopts.use_arena = true;
     eopts.plan = &opts.serving_context->plan_;
     eopts.arena = opts.serving_context->arena_.get();
   } else if (opts.use_arena) {
     // Arena runs share one set of buffers, so they serialize on the model.
+    // The arena itself is built once; a binding change re-sizes its planned
+    // buffers in place (pages are reused where they still fit).
     serving_lock = std::unique_lock<std::mutex>(serving_->mu);
+    const graph::MemoryPlan* use_plan =
+        variant != nullptr ? &variant->plan : plan_.get();
+    const std::pair<int64_t, int64_t> binding{bound_batch, bound_hw};
     if (serving_->arena == nullptr) {
-      serving_->plan =
-          std::make_unique<graph::MemoryPlan>(graph::plan_memory(graph_));
-      serving_->arena =
-          std::make_unique<BufferArena>(serving_->plan->buffer_bytes);
+      serving_->arena = std::make_unique<BufferArena>(use_plan->buffer_bytes);
+      serving_->arena_binding = binding;
+    } else if (serving_->arena_binding != binding) {
+      serving_->arena->rebind(use_plan->buffer_bytes);
+      serving_->arena_binding = binding;
     }
-    eopts.plan = serving_->plan.get();
+    eopts.plan = use_plan;
     eopts.arena = serving_->arena.get();
   }
 
   Rng rng(opts.input_seed);
   const auto host_t0 = std::chrono::steady_clock::now();
-  const graph::ExecResult r = graph::execute(graph_, *platform_, eopts, rng);
+  const graph::ExecResult r =
+      graph::execute(run_graph, *platform_, eopts, rng);
   const double host_ms = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - host_t0)
                              .count();
@@ -130,6 +168,7 @@ RunResult CompiledModel::run(const RunOptions& opts) const {
   out.other_ms = r.other_ms;
   out.peak_intermediate_bytes = r.peak_intermediate_bytes;
   out.arena_bytes = r.arena_bytes;
+  out.arena_page_bytes = r.arena_page_bytes;
   out.counters = r.counters;
 
   // Serving telemetry: every run() feeds the process-wide latency families,
@@ -162,18 +201,99 @@ RunResult CompiledModel::run(uint64_t input_seed, bool compute_numerics) const {
   return run(opts);
 }
 
-graph::MemoryPlan CompiledModel::memory_plan() const {
-  return graph::plan_memory(graph_);
+RunResult CompiledModel::run(int64_t batch, int64_t input_hw,
+                             const RunOptions& opts) const {
+  RunOptions o = opts;
+  o.batch = batch;
+  o.input_hw = input_hw;
+  return run(o);
+}
+
+graph::MemoryPlan CompiledModel::memory_plan() const { return *plan_; }
+
+const CompiledModel::ShapeVariant* CompiledModel::resolve_variant(
+    int64_t batch, int64_t input_hw) const {
+  const graph::ShapeSpec& spec = graph_.shape_spec();
+  const int64_t b = batch == 0 ? spec.seed_batch : batch;
+  const int64_t hw = input_hw;
+  if (b == spec.seed_batch && (hw == 0 || hw == spec.seed_hw)) return nullptr;
+  graph::validate_binding(spec, b, hw);
+  const std::pair<int64_t, int64_t> key{b, hw == 0 ? spec.seed_hw : hw};
+
+  std::lock_guard<std::mutex> lock(serving_->variants_mu);
+  auto it = serving_->variants.find(key);
+  if (it != serving_->variants.end()) return it->second.get();
+
+  auto v = std::make_unique<ShapeVariant>();
+  v->batch = key.first;
+  v->hw = key.second;
+  v->graph = graph::rebind_shapes(graph_, b, hw == spec.seed_hw ? 0 : hw);
+  // Same buffer assignment, re-resolved sizes — no plan_memory() call.
+  v->plan = *plan_;
+  v->plan.buffer_bytes = graph::resolve_buffer_bytes(*plan_, v->graph);
+  v->plan.unshared_bytes = 0;
+  for (const graph::Node& n : v->graph.nodes()) {
+    if (v->plan.buffer_of_node[static_cast<size_t>(n.id)] >= 0) {
+      v->plan.unshared_bytes += n.out_shape.numel() * 4;
+    }
+  }
+  // Conv schedules for the rebound workloads, resolved with the same logic
+  // compile() used (lookup only — no tuning trials happen here).
+  for (int id : v->graph.conv_node_ids()) {
+    const graph::Node& n = v->graph.node(id);
+    const int block = [&] {
+      auto bit = layouts_.find(id);
+      return bit == layouts_.end() ? 1 : bit->second;
+    }();
+    tune::ScheduleConfig cfg;
+    if (tuned_) {
+      cfg = tune::lookup_or_default(n.conv, platform_->gpu, block, &db_);
+    } else {
+      cfg = ops::conv2d_manual_schedule(n.conv, platform_->gpu);
+      cfg.set("layout_block", block);
+    }
+    v->conv_schedules.emplace(id, std::move(cfg));
+  }
+  const ShapeVariant* raw = v.get();
+  serving_->variants.emplace(key, std::move(v));
+  return raw;
 }
 
 int64_t ServingContext::arena_bytes() const {
   return arena_ == nullptr ? 0 : arena_->capacity_bytes();
 }
 
+int64_t ServingContext::arena_page_bytes() const {
+  return arena_ == nullptr ? 0 : arena_->page_bytes_held();
+}
+
+const std::shared_ptr<PagePool>& ServingContext::page_pool() const {
+  return arena_->pool();
+}
+
+std::shared_ptr<PagePool> CompiledModel::page_pool() const {
+  std::lock_guard<std::mutex> lock(serving_->variants_mu);
+  if (serving_->pool == nullptr) serving_->pool = std::make_shared<PagePool>();
+  return serving_->pool;
+}
+
 std::unique_ptr<ServingContext> CompiledModel::make_serving_context() const {
+  return make_serving_context(0, 0, nullptr);
+}
+
+std::unique_ptr<ServingContext> CompiledModel::make_serving_context(
+    int64_t batch, int64_t input_hw, std::shared_ptr<PagePool> pool) const {
+  const graph::ShapeSpec& spec = graph_.shape_spec();
+  const ShapeVariant* variant = resolve_variant(batch, input_hw);
   auto ctx = std::unique_ptr<ServingContext>(new ServingContext());
-  ctx->plan_ = graph::plan_memory(graph_);
-  ctx->arena_ = std::make_unique<BufferArena>(ctx->plan_.buffer_bytes);
+  ctx->plan_ = variant != nullptr ? variant->plan : *plan_;
+  ctx->batch_ = variant != nullptr ? variant->batch : spec.seed_batch;
+  ctx->hw_ = variant != nullptr ? variant->hw : spec.seed_hw;
+  PagedArena::Options aopts;
+  aopts.cache_runs = false;  // pages return to the shared pool per request
+  ctx->arena_ = std::make_unique<BufferArena>(
+      ctx->plan_.buffer_bytes,
+      pool != nullptr ? std::move(pool) : page_pool(), aopts);
   return ctx;
 }
 

@@ -95,22 +95,36 @@ struct CompileOptions {
 enum class RunBackend { kAuto, kInterp, kJit };
 
 /// Private serving state for one worker thread: a memory plan plus a
-/// plan-backed BufferArena for one model. A run that passes a context
-/// through RunOptions::serving_context uses these buffers instead of the
-/// model-wide shared arena — and skips that arena's mutex — so a pool of
-/// workers can serve the same CompiledModel concurrently, each on its own
-/// context. The caller guarantees at most one run uses a given context at a
-/// time (a worker thread owning one context per tenant model satisfies
-/// this). Created by CompiledModel::make_serving_context().
+/// plan-backed PagedArena for one model at one shape binding. A run that
+/// passes a context through RunOptions::serving_context uses these buffers
+/// instead of the model-wide shared arena — and skips that arena's mutex —
+/// so a pool of workers can serve the same CompiledModel concurrently, each
+/// on its own context. The arena draws pages from a shared PagePool and
+/// returns them between requests (cache_runs off), so contexts across
+/// workers and across tenant models recycle one physical page set instead
+/// of each holding a private full-size slab. The caller guarantees at most
+/// one run uses a given context at a time (a worker thread owning one
+/// context per tenant model satisfies this). Created by
+/// CompiledModel::make_serving_context().
 class ServingContext {
  public:
   int64_t arena_bytes() const;
+  /// Physical page bytes the context's arena holds right now (0 between
+  /// requests — pages live in the shared pool).
+  int64_t arena_page_bytes() const;
+  /// The page pool this context draws from.
+  const std::shared_ptr<PagePool>& page_pool() const;
+  /// The shape binding this context was built for (0 = compiled seed).
+  int64_t batch() const { return batch_; }
+  int64_t input_hw() const { return hw_; }
 
  private:
   friend class CompiledModel;
   ServingContext() = default;
   graph::MemoryPlan plan_;
   std::unique_ptr<BufferArena> arena_;
+  int64_t batch_ = 0;
+  int64_t hw_ = 0;
 };
 
 /// Knobs for one inference call. Outputs are bit-identical across every
@@ -142,6 +156,14 @@ struct RunOptions {
   /// The context must come from this model's make_serving_context(); at
   /// most one run may use it at a time (see ServingContext).
   ServingContext* serving_context = nullptr;
+  /// Dynamic shape binding: input batch (0 = the compiled seed batch) and
+  /// input resolution (0 = the compiled seed resolution), validated against
+  /// the model's declared ShapeSpec. A non-seed binding reuses the compiled
+  /// schedules and the memory plan's buffer assignment — zero replanning,
+  /// zero retuning — re-deriving only shapes and buffer sizes (cached per
+  /// binding). With a serving context, the binding must match the context's.
+  int64_t batch = 0;
+  int64_t input_hw = 0;
 };
 
 struct RunResult {
@@ -159,6 +181,10 @@ struct RunResult {
   int64_t peak_intermediate_bytes = 0;
   /// Capacity of the serving arena (0 when use_arena is off).
   int64_t arena_bytes = 0;
+  /// Physical page bytes the arena held when the run finished (0 when
+  /// use_arena is off, or when a serving context returned its pages to the
+  /// shared pool).
+  int64_t arena_page_bytes = 0;
   /// Hardware counters merged over every charge of the run (occupancy,
   /// achieved GFLOPS / GB/s, bound classification — see sim/timing_model.h).
   sim::KernelCounters counters;
@@ -173,6 +199,13 @@ class CompiledModel {
   RunResult run(uint64_t input_seed = 0xbe5c,
                 bool compute_numerics = true) const;
 
+  /// Runs one inference at a dynamic shape binding: input batch `batch`
+  /// (0 = seed) at resolution `input_hw` x `input_hw` (0 = seed), within the
+  /// model's declared ShapeSpec bounds. Outputs and simulated latencies are
+  /// bit-identical to a model statically compiled at that shape; no
+  /// replanning or retuning happens (see RunOptions::batch).
+  RunResult run(int64_t batch, int64_t input_hw, const RunOptions& opts) const;
+
   const std::string& model_name() const { return name_; }
   const sim::Platform& platform() const { return *platform_; }
   const graph::PassStats& pass_stats() const { return pass_stats_; }
@@ -184,12 +217,26 @@ class CompiledModel {
   std::vector<std::string> pass_pipeline() const;
   const tune::TuneDb& tune_db() const { return db_; }
   const std::map<int, int>& layouts() const { return layouts_; }
-  /// Static memory plan of the optimized graph.
+  /// Memory plan of the optimized graph, computed once at compile() time
+  /// (dynamic-shape bindings reuse its buffer assignment unchanged).
   graph::MemoryPlan memory_plan() const;
+  /// The model's declared dynamic-shape bounds.
+  const graph::ShapeSpec& shape_spec() const { return graph_.shape_spec(); }
 
   /// Builds a private plan + arena for one serving worker (see
-  /// ServingContext / RunOptions::serving_context).
+  /// ServingContext / RunOptions::serving_context) at the compiled seed
+  /// shape, drawing pages from the model's own shared pool.
   std::unique_ptr<ServingContext> make_serving_context() const;
+  /// Same, at a dynamic shape binding (`batch`/`input_hw` 0 = seed), drawing
+  /// pages from `pool` — pass one pool to every tenant's contexts and they
+  /// share physical pages (null = the model's own pool).
+  std::unique_ptr<ServingContext> make_serving_context(
+      int64_t batch, int64_t input_hw, std::shared_ptr<PagePool> pool) const;
+
+  /// The page pool backing this model's serving contexts (created on first
+  /// use). The model-wide arena keeps a private pool: it caches its page
+  /// runs across runs, so sharing would never materialize.
+  std::shared_ptr<PagePool> page_pool() const;
 
   /// Table view of the optimized, placed graph (Graph::summary).
   std::string graph_summary() const { return graph_.summary(); }
@@ -213,18 +260,44 @@ class CompiledModel {
                                const sim::Platform& platform,
                                const CompileOptions& opts);
 
-  /// Lazily built serving state shared by arena runs: the memory plan and
-  /// the arena sized from it, plus the mutex that serializes such runs
-  /// (buffers would alias otherwise). Held behind a pointer so the model
-  /// stays movable.
+  /// One cached dynamic-shape binding: the rebound graph, a plan copy with
+  /// re-resolved buffer sizes (same buffer assignment), and the conv
+  /// schedules resolved for the rebound workloads. Built once per distinct
+  /// (batch, hw) and immutable afterwards, so concurrent runs share it.
+  struct ShapeVariant {
+    int64_t batch = 0;
+    int64_t hw = 0;
+    graph::Graph graph;
+    graph::MemoryPlan plan;
+    std::map<int, tune::ScheduleConfig> conv_schedules;
+  };
+
+  /// Lazily built serving state shared by arena runs: the arena for
+  /// model-wide runs plus the mutex that serializes them (buffers would
+  /// alias otherwise), the shape-variant cache, and the model's page pool.
+  /// Held behind a pointer so the model stays movable.
   struct ServingState {
     std::mutex mu;
-    std::unique_ptr<graph::MemoryPlan> plan;
     std::unique_ptr<BufferArena> arena;
+    /// Binding the model-wide arena is currently sized for (guarded by mu).
+    std::pair<int64_t, int64_t> arena_binding{0, 0};
+    /// Variant cache and pool, guarded by variants_mu (separate from mu so
+    /// serving-context runs never touch the model-wide arena lock).
+    std::mutex variants_mu;
+    std::map<std::pair<int64_t, int64_t>, std::unique_ptr<ShapeVariant>>
+        variants;
+    std::shared_ptr<PagePool> pool;
   };
+
+  /// Resolves (and caches) the variant for a non-seed binding; null when the
+  /// binding is the seed shape. Throws igc::Error on out-of-bounds bindings.
+  const ShapeVariant* resolve_variant(int64_t batch, int64_t input_hw) const;
 
   std::string name_;
   graph::Graph graph_;
+  /// Memory plan computed once at compile(); every binding reuses its
+  /// buffer assignment (see memory_planner.h).
+  std::shared_ptr<const graph::MemoryPlan> plan_;
   const sim::Platform* platform_ = nullptr;
   graph::PassStats pass_stats_;
   std::vector<graph::PassRunStats> pass_report_;

@@ -483,6 +483,7 @@ class ExecutorImpl {
       result.peak_intermediate_bytes =
           std::max(peak_bytes_, arena_->peak_in_use_bytes());
       result.arena_bytes = arena_->capacity_bytes();
+      result.arena_page_bytes = arena_->page_bytes_held();
     }
     return result;
   }
@@ -646,24 +647,29 @@ class ExecutorImpl {
     v.materialized = true;
   }
 
-  /// Flatten and DeviceCopy alias their input when values live on the heap;
-  /// with an arena the input's slab may be recycled right after its last
-  /// consumer, so these ops copy into their own planned buffer instead.
+  /// Flatten and DeviceCopy alias their input when values live on the heap.
+  /// Under the arena they alias too — acquire_shared() refcounts the source
+  /// buffer's pages, and a later acquirer of those pages sees the outstanding
+  /// reference and takes fresh ones (copy-on-reacquire), so the alias stays
+  /// valid even after the source buffer is recycled.
   void set_aliased(const Node& n) {
     Value& v = val(n.id);
     const Value& src = val(n.inputs[0]);
     if (arena_ != nullptr) {
-      // Unmaterialized placeholders carry no data worth copying; zero-fill
-      // only when the value escapes as the graph output (matching the
-      // sequential executor, whose alias of a zeroed placeholder is zeros).
-      const bool zero = !src.materialized && n.id == g_.output();
-      Tensor dst =
-          arena_acquire(n, n.out_shape, src.tensor.dtype(), zero);
-      if (src.materialized) {
-        std::memcpy(dst.raw_data(), src.tensor.raw_data(),
-                    static_cast<size_t>(src.tensor.nbytes()));
+      const int buf = plan_->buffer_of_node[static_cast<size_t>(n.id)];
+      IGC_CHECK_GE(buf, 0) << "live node " << n.name
+                           << " has no planned buffer";
+      if (src.materialized && src.arena_buffer >= 0) {
+        v.tensor = arena_->acquire_shared(buf, src.arena_buffer, n.out_shape,
+                                          src.tensor.dtype());
+        v.arena_buffer = buf;
+      } else {
+        // Unmaterialized placeholders carry no data worth sharing; zero-fill
+        // only when the value escapes as the graph output (matching the
+        // sequential executor, whose alias of a zeroed placeholder is zeros).
+        const bool zero = !src.materialized && n.id == g_.output();
+        v.tensor = arena_acquire(n, n.out_shape, src.tensor.dtype(), zero);
       }
-      v.tensor = std::move(dst);
     } else {
       v.tensor = src.tensor.reshape(n.out_shape);
     }

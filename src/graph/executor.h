@@ -128,6 +128,10 @@ struct ExecResult {
   int64_t peak_intermediate_bytes = 0;
   /// Capacity of the arena used (0 when use_arena is off).
   int64_t arena_bytes = 0;
+  /// Physical page bytes the arena still held when the run finished (0 when
+  /// use_arena is off; 0 for serving contexts that return pages to the shared
+  /// pool on release).
+  int64_t arena_page_bytes = 0;
   std::vector<sim::ClockEvent> events;
   /// Hardware counters merged over every charge of the run (so counters.ms
   /// equals serial_ms up to summation order).

@@ -50,6 +50,29 @@ std::string_view op_kind_name(OpKind k);
 /// Where a node executes after placement (Sec. 3.1.2).
 enum class Place { kUnassigned, kGpu, kCpu };
 
+/// Declared dynamic-shape bounds for a model graph. The graph itself is
+/// always concretely shaped (the builders bake one *seed* shape, and every
+/// stored shape is that of the seed binding); a ShapeSpec says which symbolic
+/// dimensions — batch, input height/width — may be rebound at run time and
+/// within what bounds. shape_infer.h re-derives every node shape for a new
+/// binding; buffer assignment is shape-independent, so rebinding never
+/// replans (see memory_planner.h).
+///
+/// Detection/segmentation models declare dynamic batch only: their anchor
+/// grids and skip-connection alignment are baked for the seed resolution, so
+/// a resolution change is a hard rebind error rather than a silent drift.
+struct ShapeSpec {
+  bool dynamic_batch = false;
+  bool dynamic_hw = false;
+  int64_t min_batch = 1, max_batch = 1;
+  int64_t min_hw = 1, max_hw = 1;
+  /// The binding the graph's stored shapes correspond to.
+  int64_t seed_batch = 1;
+  int64_t seed_hw = 0;  // 0 for graphs without a spatial input
+
+  bool is_dynamic() const { return dynamic_batch || dynamic_hw; }
+};
+
 struct Node {
   int id = -1;
   std::string name;
@@ -149,6 +172,11 @@ class Graph {
   void set_output(int id) { output_ = id; }
   int output() const { return output_; }
 
+  /// Declared dynamic-shape bounds (default: fully static). Passes that
+  /// rebuild the graph must carry the spec across (dce, placement do).
+  void set_shape_spec(ShapeSpec spec) { spec_ = spec; }
+  const ShapeSpec& shape_spec() const { return spec_; }
+
   /// Consumers of each node (recomputed on demand).
   std::vector<std::vector<int>> consumers() const;
 
@@ -179,6 +207,7 @@ class Graph {
   int push(Node n);
   std::vector<Node> nodes_;
   int output_ = -1;
+  ShapeSpec spec_;
 };
 
 }  // namespace igc::graph

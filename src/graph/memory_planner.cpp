@@ -3,8 +3,17 @@
 #include <algorithm>
 
 #include "core/error.h"
+#include "obs/metrics.h"
 
 namespace igc::graph {
+namespace {
+
+obs::Counter& plan_counter() {
+  static auto& c = obs::MetricsRegistry::global().counter("graph.plan.plans");
+  return c;
+}
+
+}  // namespace
 
 MemoryPlan plan_memory(const Graph& g) {
   const int n = g.num_nodes();
@@ -56,10 +65,12 @@ MemoryPlan plan_memory(const Graph& g) {
     } else {
       buf_id = static_cast<int>(plan.buffer_bytes.size());
       plan.buffer_bytes.push_back(bytes);
+      plan.buffer_holders.emplace_back();
     }
     plan.buffer_bytes[static_cast<size_t>(buf_id)] =
         std::max(plan.buffer_bytes[static_cast<size_t>(buf_id)], bytes);
     plan.buffer_of_node[static_cast<size_t>(node.id)] = buf_id;
+    plan.buffer_holders[static_cast<size_t>(buf_id)].push_back(node.id);
     const int death = last_use[static_cast<size_t>(node.id)];
     if (death <= n) {
       expiring[static_cast<size_t>(std::min(death, n))].push_back(buf_id);
@@ -70,7 +81,25 @@ MemoryPlan plan_memory(const Graph& g) {
           {freed, plan.buffer_bytes[static_cast<size_t>(freed)]});
     }
   }
+  plan_counter().add(1);
   return plan;
+}
+
+std::vector<int64_t> resolve_buffer_bytes(const MemoryPlan& plan,
+                                          const Graph& shaped) {
+  std::vector<int64_t> bytes(plan.buffer_bytes.size(), 0);
+  for (size_t b = 0; b < plan.buffer_holders.size(); ++b) {
+    for (int node_id : plan.buffer_holders[b]) {
+      IGC_CHECK_GE(node_id, 0);
+      IGC_CHECK_LT(node_id, shaped.num_nodes())
+          << "resolve_buffer_bytes: plan does not match the shaped graph";
+      bytes[b] = std::max(bytes[b],
+                          shaped.nodes()[static_cast<size_t>(node_id)]
+                                  .out_shape.numel() *
+                              4);
+    }
+  }
+  return bytes;
 }
 
 }  // namespace igc::graph

@@ -210,6 +210,7 @@ int dead_node_elimination_pass(Graph& g) {
     remap[static_cast<size_t>(old_id)] = compact.nodes().back().id;
   }
   compact.set_output(remap[static_cast<size_t>(g.output())]);
+  compact.set_shape_spec(g.shape_spec());
   compact.validate();
   g = std::move(compact);
   return dead;
@@ -272,6 +273,7 @@ int placement_pass(Graph& g, const std::set<OpKind>& cpu_ops) {
     remap[static_cast<size_t>(old_id)] = rebuilt.nodes().back().id;
   }
   rebuilt.set_output(remap[static_cast<size_t>(g.output())]);
+  rebuilt.set_shape_spec(g.shape_spec());
   rebuilt.validate();
   g = std::move(rebuilt);
   return copies;

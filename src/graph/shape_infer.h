@@ -1,0 +1,37 @@
+// Dynamic-shape rebinding (the "ShapeSpec" half of the paged-arena stack).
+//
+// Graphs are stored concretely shaped at their *seed* binding; a ShapeSpec
+// (graph/graph.h) declares which dims may vary. rebind_shapes() produces a
+// copy of the graph with every node's shape re-derived for a new
+// (batch, hw) binding using exactly the formulas the builders use — conv
+// out_h/out_w arithmetic, pool windows, concat sums, detection-head anchor
+// math — so a rebound graph is indistinguishable from one built at that
+// shape. Buffer assignment is shape-independent (memory_planner.h), so a
+// rebinding costs a shape walk plus a size re-resolution: zero replanning,
+// zero recompiling.
+//
+// Structural constants stay fixed and are validated, not silently resized:
+// a binding that would change a dense layer's input features or a detection
+// head's anchor grid is a hard igc::Error naming the offending node.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace igc::graph {
+
+/// Throws igc::Error unless (batch, hw) is inside `spec`'s declared bounds.
+/// `hw` == 0 means "keep the seed resolution" and is always valid; `batch`
+/// must always be >= 1.
+void validate_binding(const ShapeSpec& spec, int64_t batch, int64_t hw);
+
+/// Returns a copy of `g` with all node shapes (and the shape-dependent op
+/// params: conv/deconv batch + spatial extents, dense batch) re-derived for
+/// input batch `batch` and input resolution `hw` x `hw` (`hw` == 0 keeps the
+/// seed resolution). Only rank-4 graph inputs are rebound; parameter-style
+/// inputs (e.g. ROI lists) keep their shapes. Does not consult the
+/// ShapeSpec — callers validate with validate_binding() first.
+Graph rebind_shapes(const Graph& g, int64_t batch, int64_t hw);
+
+}  // namespace igc::graph

@@ -44,6 +44,22 @@ int classifier_head(graph::Graph& g, Rng& rng, int x, int64_t num_classes) {
   return g.add_softmax("prob", fc);
 }
 
+/// Classifiers are fully convolutional up to a global pooling (or GAP-style
+/// conv10) head, so one compiled model serves any batch and any square
+/// resolution the conv stack can reduce: declare both dims dynamic.
+graph::ShapeSpec classification_spec(int64_t batch, int64_t image_size) {
+  graph::ShapeSpec spec;
+  spec.dynamic_batch = true;
+  spec.dynamic_hw = true;
+  spec.min_batch = 1;
+  spec.max_batch = 8;
+  spec.min_hw = 64;
+  spec.max_hw = 1024;
+  spec.seed_batch = batch;
+  spec.seed_hw = image_size;
+  return spec;
+}
+
 }  // namespace
 
 Model build_resnet50(Rng& rng, int64_t image_size, int64_t batch,
@@ -74,6 +90,7 @@ Model build_resnet50(Rng& rng, int64_t image_size, int64_t batch,
   const int out = classifier_head(g, rng, x, num_classes);
   g.set_output(out);
   g.validate();
+  g.set_shape_spec(classification_spec(batch, image_size));
   return m;
 }
 
@@ -100,6 +117,7 @@ Model build_mobilenet(Rng& rng, int64_t image_size, int64_t batch,
   const int out = classifier_head(g, rng, x, num_classes);
   g.set_output(out);
   g.validate();
+  g.set_shape_spec(classification_spec(batch, image_size));
   return m;
 }
 
@@ -145,6 +163,7 @@ Model build_squeezenet(Rng& rng, int64_t image_size, int64_t batch,
   const int out = g.add_softmax("prob", flat);
   g.set_output(out);
   g.validate();
+  g.set_shape_spec(classification_spec(batch, image_size));
   return m;
 }
 
@@ -204,6 +223,7 @@ Model build_inception_v1(Rng& rng, int64_t image_size, int64_t batch,
   const int out = classifier_head(g, rng, x, num_classes);
   g.set_output(out);
   g.validate();
+  g.set_shape_spec(classification_spec(batch, image_size));
   return m;
 }
 

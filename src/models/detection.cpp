@@ -9,6 +9,21 @@
 namespace igc::models {
 namespace {
 
+/// Detection graphs bake their anchor grids for one input resolution, so
+/// only the batch dimension is dynamic (resolving a new resolution would
+/// change the anchor count — rejected at bind time with a pointed error).
+graph::ShapeSpec detection_spec(int64_t batch, int64_t image_size) {
+  graph::ShapeSpec spec;
+  spec.dynamic_batch = true;
+  spec.min_batch = 1;
+  spec.max_batch = 8;
+  spec.seed_batch = batch;
+  spec.seed_hw = image_size;
+  spec.min_hw = image_size;
+  spec.max_hw = image_size;
+  return spec;
+}
+
 // ---- SSD -------------------------------------------------------------------
 
 /// Backbone feature taps for SSD: strides 8, 16, and 32 plus extra stride-2
@@ -129,6 +144,7 @@ Model build_ssd(Rng& rng, SsdBackbone backbone, int64_t image_size,
                                       std::move(anchors), c1, mp);
   g.set_output(det);
   g.validate();
+  g.set_shape_spec(detection_spec(batch, image_size));
   return m;
 }
 
@@ -238,6 +254,7 @@ Model build_yolov3(Rng& rng, int64_t image_size, int64_t batch,
   const int out = g.add_box_nms("nms", cat, np);
   g.set_output(out);
   g.validate();
+  g.set_shape_spec(detection_spec(batch, image_size));
   return m;
 }
 

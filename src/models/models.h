@@ -19,6 +19,12 @@ struct Model {
   std::string name;
   graph::Graph graph;
 };
+// Every builder stamps a graph::ShapeSpec on its graph: classifiers declare
+// dynamic batch [1,8] and dynamic square resolution [64,1024] (they are
+// fully convolutional up to global pooling); detection and segmentation
+// models declare dynamic batch only — their anchor grids / skip alignment
+// are baked for the build-time resolution. CompiledModel::run(batch, hw)
+// validates requested bindings against this spec.
 
 /// ResNet-50 v1: 7x7 stem, [3,4,6,3] bottleneck stages, GAP, FC-1000.
 Model build_resnet50(Rng& rng, int64_t image_size = 224, int64_t batch = 1,

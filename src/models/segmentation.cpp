@@ -80,6 +80,17 @@ Model build_fcn_resnet50(Rng& rng, int64_t image_size, int64_t batch,
   const int up8 = upsample_deconv(g, "up8_to_1", fuse8, 8);
   g.set_output(up8);  // per-pixel class logits at input resolution
   g.validate();
+  // The skip-fusion adds only align for stride-32 inputs (checked above),
+  // so FCN keeps its compile-time resolution and serves dynamic batch only.
+  graph::ShapeSpec spec;
+  spec.dynamic_batch = true;
+  spec.min_batch = 1;
+  spec.max_batch = 8;
+  spec.seed_batch = batch;
+  spec.seed_hw = image_size;
+  spec.min_hw = image_size;
+  spec.max_hw = image_size;
+  g.set_shape_spec(spec);
   return m;
 }
 

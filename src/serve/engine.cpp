@@ -63,6 +63,14 @@ void ServingEngine::start() {
   std::lock_guard<std::mutex> lk(lifecycle_mu_);
   if (started_) return;
   if (tenants_.empty()) throw Error("ServingEngine: start() with no tenants");
+  if (opts_.page_pool == nullptr) {
+    for (const TenantSpec& t : tenants_) {
+      if (t.run.use_arena) {
+        opts_.page_pool = std::make_shared<PagePool>();
+        break;
+      }
+    }
+  }
   RequestQueue::Options qopts = opts_.queue;
   qopts.num_tenants = static_cast<int>(tenants_.size());
   queue_ = std::make_unique<RequestQueue>(qopts);
@@ -163,9 +171,11 @@ void ServingEngine::scheduler_main() {
 void ServingEngine::worker_main(int worker_id) {
   (void)worker_id;
   // One private ServingContext per tenant, built lazily on this worker's
-  // first batch of that tenant: the plan-backed arena is reused across every
-  // subsequent request the worker serves for the tenant — steady-state
-  // serving allocates no intermediate tensors.
+  // first batch of that tenant: the plan-backed page table is reused across
+  // every subsequent request the worker serves for the tenant, while the
+  // physical pages behind it are borrowed from the engine-wide pool per
+  // request — steady-state serving performs no heap allocations for node
+  // outputs and shares pages across the whole worker pool.
   std::vector<std::unique_ptr<ServingContext>> contexts(tenants_.size());
   for (;;) {
     Batch batch;
@@ -188,7 +198,11 @@ void ServingEngine::execute_batch(
   const TenantSpec& tenant = tenants_[static_cast<size_t>(batch.tenant)];
   auto& ctx = contexts[static_cast<size_t>(batch.tenant)];
   if (ctx == nullptr && tenant.run.use_arena) {
-    ctx = tenant.model->make_serving_context();
+    // Page table is private to this worker; the physical pages behind it
+    // come from the engine-wide pool and are returned after every request,
+    // so workers and tenants time-share one page set.
+    ctx = tenant.model->make_serving_context(
+        tenant.run.batch, tenant.run.input_hw, opts_.page_pool);
   }
   for (RequestPtr& req : batch.requests) {
     RequestOutcome outcome;

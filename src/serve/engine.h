@@ -7,10 +7,16 @@
 //   lanes, bounded, shed watermark) --[scheduler thread: dynamic batches,
 //   max-batch-size / max-wait-ms triggers, round-robin fairness]--> batch
 //   queue (bounded by worker count) --> worker threads, each holding one
-//   private ServingContext (memory plan + BufferArena) per tenant, so
-//   concurrent workers serve the same CompiledModel without serializing on
-//   the model-wide arena mutex — JIT dispatch tables and pre-resolved conv
-//   schedules are shared read-only across the pool.
+//   private ServingContext (memory plan + PagedArena page table) per tenant,
+//   so concurrent workers serve the same CompiledModel without serializing
+//   on the model-wide arena mutex — JIT dispatch tables and pre-resolved
+//   conv schedules are shared read-only across the pool.
+//
+// Memory: every worker context draws its pages from ONE engine-wide
+// PagePool (EngineOptions::page_pool, created at start() when absent).
+// Contexts return their pages to the pool after each request, so physical
+// pages time-share across workers and tenants: peak engine memory tracks
+// the pages concurrently in flight, not (workers x tenants) private slabs.
 //
 // Telemetry: every request records enqueue/schedule/start/finish timestamps
 // from the engine clock; completions feed the serve.* metric family
@@ -78,6 +84,12 @@ struct EngineOptions {
   double sim_pacing = 0.0;
   /// Metrics destination; null uses the process-wide registry.
   obs::MetricsRegistry* registry = nullptr;
+  /// Shared physical page pool for every worker's serving contexts. Null
+  /// (the default) lets start() create an unbounded pool when any tenant
+  /// runs with an arena; pass one explicitly to cap memory (PagePool::
+  /// Options::max_bytes) or to share pages with contexts outside the
+  /// engine.
+  std::shared_ptr<PagePool> page_pool;
 };
 
 /// Monotonic accounting snapshot. Counts conserve:
@@ -115,6 +127,13 @@ class ServingEngine {
   /// Spawns the scheduler and worker threads. Requires >= 1 tenant.
   void start();
   bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The engine-wide physical page pool every worker context draws from.
+  /// Null before start() unless one was passed in EngineOptions; null after
+  /// start() only when no tenant runs with an arena.
+  const std::shared_ptr<PagePool>& page_pool() const {
+    return opts_.page_pool;
+  }
 
   /// Submits one request for `tenant`. Thread-safe; never blocks on the
   /// workers (open-loop: refusals are immediate).

@@ -1,15 +1,39 @@
-// Plan-backed buffer arena for graph execution.
+// Paged, plan-backed buffer arena for graph execution.
 //
 // The memory planner (src/graph/memory_planner.h) proves how few distinct
-// buffers a graph run needs; this arena owns exactly those buffers so that
-// steady-state serving does zero intermediate heap allocations: the executor
+// buffers a graph run needs; this arena maps each planned buffer id to a
+// page run drawn from a PagePool (src/tensor/page_pool.h): the executor
 // acquires a node's planned buffer, views it as a tensor, and releases it
-// after the node's last consumer. The arena outlives individual runs — a
-// CompiledModel keeps one and reuses it across repeated run() calls.
+// after the node's last consumer. Pages are allocated lazily on first
+// acquire, so untouched buffers cost nothing.
+//
+// Two sharing regimes, selected by Options::cache_runs:
+//   * cache_runs on (default, the slab-equivalent regime): a buffer keeps
+//     its page run across release, so steady-state serving performs zero
+//     pool traffic — exactly the old slab arena's behaviour, and the one a
+//     model-wide arena uses.
+//   * cache_runs off (serving contexts over a shared pool): release returns
+//     pages to the pool immediately, so concurrent requests — across
+//     workers and across tenants — recycle one physical page set instead of
+//     each holding a private full-size slab.
+//
+// acquire_shared() aliases another in-use buffer's pages with a refcount
+// (zero-copy Flatten/DeviceCopy); a later acquire of the source buffer sees
+// the outstanding reference and takes fresh pages, so readers of the alias
+// are never overwritten (copy-on-reacquire).
+//
+// Accounting invariant (the bit-identity contract with the old slab arena):
+// in_use_bytes / peak_in_use_bytes / capacity_bytes are measured in *planned
+// buffer bytes*, not page-rounded bytes, so every executor-visible number —
+// peak_intermediate_bytes, arena_bytes, arena.high_water_bytes — matches the
+// slab design exactly at any shape. Page-granular truth lives in the
+// arena.page_* metrics and the PagePool stats.
 //
 // Thread safety: acquire/release are mutex-guarded so wavefront-concurrent
 // nodes may call them freely. Two *runs* sharing one arena must still be
-// externally serialized (the buffers themselves would alias).
+// externally serialized (the buffers themselves would alias). The mutex is
+// recursive because a pool pressure hook may re-enter evict_idle() from
+// this arena's own alloc path.
 #pragma once
 
 #include <cstdint>
@@ -17,48 +41,106 @@
 #include <mutex>
 #include <vector>
 
+#include "tensor/page_pool.h"
 #include "tensor/tensor.h"
 
 namespace igc {
 
-class BufferArena {
+class PagedArena {
  public:
-  /// One slab per planned buffer, sized `buffer_bytes[i]`. Slabs are
-  /// allocated lazily on first acquire, so untouched buffers cost nothing.
-  explicit BufferArena(std::vector<int64_t> buffer_bytes);
+  struct Options {
+    /// Keep page runs mapped across release (see file comment).
+    bool cache_runs = true;
+  };
+
+  /// Private-pool arena: one buffer per entry of `buffer_bytes`, pages drawn
+  /// from an unbounded pool owned by this arena (the slab-compatible form).
+  explicit PagedArena(std::vector<int64_t> buffer_bytes);
+
+  /// Shared-pool arena: pages drawn from `pool` (never null), which may back
+  /// any number of arenas. Serving contexts pass cache_runs = false so their
+  /// pages return to the pool between requests.
+  PagedArena(std::vector<int64_t> buffer_bytes,
+             std::shared_ptr<PagePool> pool);
+  PagedArena(std::vector<int64_t> buffer_bytes, std::shared_ptr<PagePool> pool,
+             Options opts);
+
+  ~PagedArena();
+
+  PagedArena(const PagedArena&) = delete;
+  PagedArena& operator=(const PagedArena&) = delete;
 
   /// Acquires buffer `buffer_id` viewed as a float32/int32 tensor of `shape`.
-  /// `zero_fill` clears the slab first (needed only when the contents may be
+  /// `zero_fill` clears the pages first (needed only when the contents may be
   /// read before being fully written). The buffer must currently be free.
+  /// The page run grows on demand if `shape` needs more than the planned
+  /// bytes (data-dependent outputs), subject to the pool's page budget.
   Tensor acquire(int buffer_id, const Shape& shape, DType dtype,
                  bool zero_fill);
 
-  /// Returns `buffer_id` to the free pool. Tensors still viewing the slab
-  /// keep the storage alive but the arena may hand it to the next acquirer —
-  /// callers release only after the last reader is done.
+  /// Acquires `buffer_id` as a zero-copy alias of `src_buffer_id`'s pages
+  /// (refcounted; src must be in use and its run must fit `shape`). Releasing
+  /// either buffer drops one reference; the pages live until both are done.
+  Tensor acquire_shared(int buffer_id, int src_buffer_id, const Shape& shape,
+                        DType dtype);
+
+  /// Returns `buffer_id` to the free pool. Releasing a buffer that is not in
+  /// use (double release, or release before acquire) is a hard error.
+  /// Tensors still viewing the pages keep the extent alive, but the arena
+  /// may hand the pages to the next acquirer — callers release only after
+  /// the last reader is done.
   void release(int buffer_id);
 
+  /// Re-sizes every planned buffer for a new shape binding (same buffer
+  /// count — the plan's buffer *assignment* is shape-independent). Requires
+  /// no buffer in use; cached runs too small for their new size are dropped.
+  void rebind(std::vector<int64_t> buffer_bytes);
+
+  /// Drops cached idle page runs back to the pool (the eviction/pressure
+  /// path; also called by the pool's pressure hook). Returns runs dropped.
+  int evict_idle();
+
   int num_buffers() const { return static_cast<int>(bufs_.size()); }
-  /// Sum of all planned slab sizes (== MemoryPlan::total_bytes()).
-  int64_t capacity_bytes() const { return capacity_bytes_; }
-  /// Bytes of slabs currently acquired.
+  /// Sum of all planned buffer sizes (== the bound MemoryPlan total).
+  int64_t capacity_bytes() const;
+  /// Planned bytes of buffers currently acquired.
   int64_t in_use_bytes() const;
   /// High-water mark of in_use_bytes() since construction or reset_peak().
   int64_t peak_in_use_bytes() const;
   void reset_peak();
+  /// Bytes of pages this arena currently holds (in-use + cached).
+  int64_t page_bytes_held() const;
+  /// Cached runs dropped by evict_idle() over this arena's lifetime.
+  int64_t evictions() const;
+  const std::shared_ptr<PagePool>& pool() const { return pool_; }
 
  private:
-  struct Slab {
-    std::shared_ptr<char[]> data;  // null until first acquire
-    int64_t bytes = 0;
+  struct Entry {
+    int64_t bytes = 0;              // planned bytes (accounting unit)
+    int64_t charged = 0;            // bytes charged while in use
+    PagePool::PageRun run;          // empty until first acquire
     bool in_use = false;
+    bool borrowed = false;          // run refcounts another entry's pages
   };
 
-  mutable std::mutex mu_;
-  std::vector<Slab> bufs_;
+  void init(std::vector<int64_t> buffer_bytes);
+  Entry& entry_locked(int buffer_id);
+  Tensor wrap_run(const PagePool::PageRun& run, const Shape& shape,
+                  DType dtype) const;
+
+  mutable std::recursive_mutex mu_;
+  std::shared_ptr<PagePool> pool_;
+  Options opts_;
+  std::vector<Entry> bufs_;
   int64_t capacity_bytes_ = 0;
   int64_t in_use_ = 0;
   int64_t peak_ = 0;
+  int64_t evictions_ = 0;
+  int hook_id_ = -1;
 };
+
+/// The arena every existing call site uses; the paged design keeps the whole
+/// acquire/release surface (and its accounting) of the original slab arena.
+using BufferArena = PagedArena;
 
 }  // namespace igc

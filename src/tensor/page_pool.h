@@ -1,0 +1,132 @@
+// Physical page pool behind the PagedArena (src/tensor/arena.h).
+//
+// The paged-KV-cache idea from LLM serving engines, applied to activation
+// buffers: the pool owns large contiguous extents of host memory carved into
+// fixed-size pages, and hands out *page runs* — contiguous spans of pages —
+// with reference counts. Tensors need contiguous storage, so a run is the
+// unit of allocation (never a scatter list); contiguity inside an extent is
+// found first-fit with free-run coalescing, and a new extent is mapped only
+// when no existing extent has a large-enough hole.
+//
+// Sharing: several PagedArenas (e.g. the serving contexts of every worker x
+// tenant in a ServingEngine) can draw from one pool, so physical pages freed
+// by one request back the next request's buffers — the cross-request sharing
+// a per-context slab design cannot do. add_ref/release let two logical
+// buffers alias one run (zero-copy Flatten/DeviceCopy under the arena).
+//
+// Pressure: Options::max_bytes bounds the bytes held by live (refcounted)
+// runs. An allocation that would exceed the budget first invokes the
+// registered pressure hooks — arenas respond by dropping their cached idle
+// runs — and only fails (igc::Error) if the budget is still exceeded after
+// eviction. Hooks are invoked without the pool lock held, so a hook may call
+// back into release() freely.
+//
+// Thread safety: all methods are mutex-guarded; hooks run unlocked (see
+// above). Metrics: arena.page_allocs / arena.page_frees / arena.pages_in_use
+// / arena.page_bytes are recorded process-wide on every transition.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace igc {
+
+class PagePool {
+ public:
+  struct Options {
+    /// Page granularity. Runs are rounded up to whole pages.
+    int64_t page_bytes = 64 * 1024;
+    /// Budget on bytes held by live runs (0 = unbounded). Exceeding it
+    /// triggers the pressure hooks, then igc::Error if still over.
+    int64_t max_bytes = 0;
+    /// Minimum pages per mapped extent (small allocations share extents).
+    int64_t min_extent_pages = 64;
+  };
+
+  /// A contiguous span of pages inside one extent. Value handle: copying it
+  /// does not touch the refcount (use add_ref/release for ownership).
+  struct PageRun {
+    int32_t extent = -1;
+    int32_t first_page = 0;
+    int32_t num_pages = 0;
+    bool empty() const { return num_pages == 0; }
+  };
+
+  PagePool();  // default Options
+  explicit PagePool(Options opts);
+  ~PagePool();
+
+  PagePool(const PagePool&) = delete;
+  PagePool& operator=(const PagePool&) = delete;
+
+  /// Allocates a run covering at least `min_bytes` (>= 1 page), refcount 1.
+  PageRun alloc(int64_t min_bytes);
+  void add_ref(const PageRun& run);
+  /// Drops one reference; the run's pages return to the free pool at zero.
+  void release(const PageRun& run);
+  int refcount(const PageRun& run) const;
+
+  /// Storage of `run`, as a shared_ptr aliasing the extent (the extent stays
+  /// mapped while any tensor still views it, even across a free/re-alloc).
+  std::shared_ptr<char[]> run_data(const PageRun& run) const;
+  int64_t run_bytes(const PageRun& run) const {
+    return static_cast<int64_t>(run.num_pages) * opts_.page_bytes;
+  }
+  int64_t page_bytes() const { return opts_.page_bytes; }
+  int64_t max_bytes() const { return opts_.max_bytes; }
+
+  /// Registers a pressure hook (called, unlocked, when alloc() would exceed
+  /// max_bytes). Returns an id for unregister_pressure_hook().
+  int register_pressure_hook(std::function<void()> hook);
+  void unregister_pressure_hook(int id);
+
+  // ----- statistics ---------------------------------------------------------
+  /// Bytes held by live (refcounted) runs right now.
+  int64_t bytes_in_use() const;
+  /// High-water mark of bytes_in_use() since construction or reset_peak().
+  int64_t peak_bytes_in_use() const;
+  int64_t pages_in_use() const;
+  /// Total bytes of mapped extents (the pool's physical footprint).
+  int64_t extent_bytes() const;
+  /// Lifetime page-allocation / page-free counts.
+  int64_t total_page_allocs() const;
+  int64_t total_page_frees() const;
+  void reset_peak();
+
+ private:
+  struct Extent {
+    std::shared_ptr<char[]> data;
+    int64_t num_pages = 0;
+    /// Free runs: first_page -> num_pages, coalesced on free.
+    std::map<int32_t, int32_t> free_runs;
+  };
+  struct LiveRun {
+    int32_t num_pages = 0;
+    int refs = 0;
+  };
+
+  /// Key for the live-run map: (extent, first_page) uniquely names a run.
+  static int64_t run_key(const PageRun& r) {
+    return (static_cast<int64_t>(r.extent) << 32) | r.first_page;
+  }
+
+  PageRun try_alloc_locked(int32_t pages_needed);
+  void note_usage_locked();
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::vector<Extent> extents_;
+  std::map<int64_t, LiveRun> live_;
+  std::map<int, std::function<void()>> hooks_;
+  int next_hook_id_ = 0;
+  int64_t pages_in_use_ = 0;
+  int64_t peak_bytes_ = 0;
+  int64_t total_allocs_ = 0;
+  int64_t total_frees_ = 0;
+};
+
+}  // namespace igc

@@ -77,6 +77,23 @@ void validate_row(const obs::json::Value& row, const std::string& source) {
     EXPECT_LE(p50, p95) << source;
     EXPECT_LE(p95, p99) << source;
   }
+  if (v >= 7 && (row.at("bench").as_string() == "serving" ||
+                 row.at("bench").as_string() == "serving_engine")) {
+    // v7: the paged-arena memory block travels on every serving and engine
+    // row. Peak is planned/physical bytes (>= 0); the page footprint is
+    // page-granular so it never undershoots the peak it backs.
+    for (const char* field : {"arena_peak_bytes", "arena_page_bytes"}) {
+      ASSERT_TRUE(row.has(field)) << source << " missing " << field;
+      EXPECT_GE(row.at(field).as_int(), 0) << source << " " << field;
+    }
+    if (row.has("slab_bytes")) {
+      // Mixed-resolution sharing cells ship only when paged sharing beats
+      // per-worker private slabs on peak physical memory.
+      EXPECT_LT(row.at("arena_peak_bytes").as_int(),
+                row.at("slab_bytes").as_int())
+          << source << ": paged sharing must beat per-worker slabs";
+    }
+  }
   if (row.at("bench").as_string() == "serving_engine") {
     // v6: open-loop engine rows carry the offered/served traffic block with
     // conserving admission accounting and ordered latency percentiles.

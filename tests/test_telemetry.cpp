@@ -38,6 +38,8 @@
 #include "obs/sampler.h"
 #include "serve/engine.h"
 #include "sim/device_spec.h"
+#include "tensor/arena.h"
+#include "tensor/page_pool.h"
 
 namespace igc {
 namespace {
@@ -386,6 +388,52 @@ TEST(TelemetrySampler, ServeFamilyAppearsInSeriesWithoutSchemaDrift) {
   EXPECT_EQ(sample.at("gauges").at("serve.queue_depth").as_int(), 0);
   EXPECT_EQ(sample.at("gauges").at("serve.queue_depth_peak").as_int(),
             static_cast<int64_t>(s.queue_depth_peak));
+}
+
+TEST(TelemetrySampler, ArenaFamilyAppearsInSeriesWithoutSchemaDrift) {
+  // The paged arena's instruments (arena.acquires/releases/high_water_bytes
+  // from the arena, arena.page_allocs/page_frees/pages_in_use/page_bytes/
+  // evictions from the page pool) are process-wide, so a sample of the
+  // global registry carries the whole family through the standard counters/
+  // gauges sections — no new schema keys.
+  auto pool = std::make_shared<PagePool>();
+  {
+    PagedArena arena({128 * 1024, 64 * 1024}, pool);
+    Tensor t = arena.acquire(0, Shape{1024}, DType::kFloat32, false);
+    Tensor u = arena.acquire(1, Shape{256}, DType::kFloat32, false);
+    arena.release(1);
+    arena.release(0);
+    arena.evict_idle();  // drops both cached runs -> page frees + evictions
+  }
+
+  int64_t now_ms = 0;
+  obs::TelemetrySampler::Options opts;
+  opts.interval_ms = 10;
+  opts.clock = [&now_ms] { return now_ms; };
+  obs::TelemetrySampler sampler(opts);
+  sampler.sample_now();
+
+  auto& reg = obs::MetricsRegistry::global();
+  const obs::json::Value doc = obs::json::parse(sampler.series_json());
+  const auto& sample = doc.at("samples").as_array()[0];
+  const auto& counters = sample.at("counters");
+  for (const char* name :
+       {"arena.acquires", "arena.releases", "arena.page_allocs",
+        "arena.page_frees", "arena.evictions"}) {
+    ASSERT_NO_THROW(counters.at(name)) << name;
+    EXPECT_EQ(counters.at(name).as_int(), reg.counter(name).value()) << name;
+    EXPECT_GT(counters.at(name).as_int(), 0) << name;
+  }
+  const auto& gauges = sample.at("gauges");
+  for (const char* name :
+       {"arena.pages_in_use", "arena.page_bytes", "arena.high_water_bytes"}) {
+    ASSERT_NO_THROW(gauges.at(name)) << name;
+    EXPECT_EQ(gauges.at(name).as_int(), reg.gauge(name).value()) << name;
+  }
+  // Everything was released and evicted: the page gauges read zero.
+  EXPECT_EQ(gauges.at("arena.pages_in_use").as_int(), 0);
+  EXPECT_EQ(gauges.at("arena.page_bytes").as_int(), 0);
+  EXPECT_GT(gauges.at("arena.high_water_bytes").as_int(), 0);
 }
 
 // ----- Prometheus exporter ---------------------------------------------------

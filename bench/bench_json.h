@@ -115,7 +115,12 @@ class JsonObject {
 ///     Mixed-resolution engine cells additionally carry "slab_bytes" — what
 ///     per-worker private slabs would have pinned — so dashboards can chart
 ///     the paged-sharing win directly.
-inline constexpr int kBenchSchemaVersion = 7;
+/// v8: serving_engine rows may carry "trace_overhead_pct" — the goodput
+///     cost of request tracing, measured by replaying the same cell with
+///     tracing on: (goodput_off - goodput_on) / goodput_off * 100. Emitted
+///     on the cells that run the traced replay (the quick cell always
+///     does); wall-clock noisy, so it gates advisorily in CI.
+inline constexpr int kBenchSchemaVersion = 8;
 
 /// Starts a row carrying the shared metadata header every BENCH_*.json line
 /// leads with: bench name, schema version, platform, model, executor mode

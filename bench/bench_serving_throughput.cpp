@@ -133,16 +133,25 @@ struct EngineCell {
 /// `tenant_hw`, when non-empty, gives each tenant a dynamic input resolution
 /// (0 = the compiled seed) — the mixed-resolution sharing cell — and the row
 /// gains the "slab_bytes" comparison against per-worker private slabs.
+/// `traced` enables request tracing for the replay; with emit_row = false
+/// the cell only measures (the trace-overhead companion run). A
+/// traced_goodput > 0 adds the schema-v8 "trace_overhead_pct" field.
 double run_engine_cell(std::FILE* jf, const igc::sim::Platform& plat,
                        const std::vector<const igc::CompiledModel*>& tenants,
                        const EngineCell& cell, double duration_ms,
-                       const std::vector<int64_t>& tenant_hw = {}) {
+                       const std::vector<int64_t>& tenant_hw = {},
+                       bool traced = false, bool emit_row = true,
+                       double traced_goodput = -1.0) {
   using namespace igc;  // NOLINT
   serve::EngineOptions eopts;
   eopts.num_workers = cell.workers;
   eopts.queue.max_depth = 256;
   eopts.queue.max_batch_size = 8;
   eopts.queue.max_wait_ms = 2.0;
+  // The traced replay exercises the full path a production endpoint would
+  // run: timelines on every request, flight-recorder retention, exemplars.
+  eopts.trace.enabled = traced;
+  eopts.trace.head_sample_rate = traced ? 0.05 : 0.0;
   // Device-bound service: each request holds its worker for the simulated
   // InceptionV1 latency scaled by 1/20 (~3.9 ms), i.e. the worker blocks on
   // its device replica. Blocked workers overlap, so goodput scales with the
@@ -206,6 +215,7 @@ double run_engine_cell(std::FILE* jf, const igc::sim::Platform& plat,
   const serve::EngineStats s = engine.stats();
   const double goodput =
       elapsed_ms > 0.0 ? s.completed * 1000.0 / elapsed_ms : 0.0;
+  if (!emit_row) return goodput;
   const Percentiles pe = percentiles_of(e2e);
   const Percentiles pq = percentiles_of(queue_wait);
   const double batch_mean =
@@ -268,6 +278,15 @@ double run_engine_cell(std::FILE* jf, const igc::sim::Platform& plat,
       .field("arena_page_bytes", arena_page_bytes)
       .field("backend", "interp")
       .field("numerics", false);
+  if (traced_goodput > 0.0 && goodput > 0.0) {
+    // v8: goodput cost of request tracing, from the traced companion replay
+    // of the identical arrival schedule.
+    const double overhead_pct = (goodput - traced_goodput) / goodput * 100.0;
+    j.field("trace_overhead_pct", overhead_pct);
+    std::printf("%-10s   trace overhead: %.2f%% (goodput %.1f/s untraced vs "
+                "%.1f/s traced)\n",
+                config, overhead_pct, goodput, traced_goodput);
+  }
   if (!tenant_hw.empty()) {
     j.field("slab_bytes", slab_bytes);
     std::printf("%-10s   paged pool peak %.2f MiB vs %.2f MiB of per-worker "
@@ -642,7 +661,18 @@ int main(int argc, char** argv) {
                 "e2e p50/p95/p99 ms", "qwait p50/p95/p99 ms");
     double goodput_w1 = 0.0, goodput_wmax = 0.0;
     for (const EngineCell& cell : cells) {
-      const double g = run_engine_cell(jf, plat, tenants, cell, duration_ms);
+      // The gate cell (w2_r400 — the one quick mode replays) also runs a
+      // traced companion replay so its row carries trace_overhead_pct and
+      // the CI advisory watch can see tracing-cost regressions.
+      double traced_goodput = -1.0;
+      if (cell.workers == 2 && cell.offered_per_s == 400.0) {
+        traced_goodput =
+            run_engine_cell(jf, plat, tenants, cell, duration_ms, {},
+                            /*traced=*/true, /*emit_row=*/false);
+      }
+      const double g =
+          run_engine_cell(jf, plat, tenants, cell, duration_ms, {},
+                          /*traced=*/false, /*emit_row=*/true, traced_goodput);
       if (cell.offered_per_s == 1600.0) {
         if (cell.workers == 1) goodput_w1 = g;
         if (cell.workers == 4) goodput_wmax = g;

@@ -32,6 +32,7 @@
 #include "obs/http.h"
 #include "obs/latency_histogram.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "obs/roofline.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
@@ -145,6 +146,14 @@ void usage(const char* argv0, std::FILE* out) {
       "  --serve-wait-ms W       max batch wait, float ms (default 2.0)\n"
       "  --serve-pacing P        simulated-device pacing factor, float\n"
       "                          (default 0.05; 0 = host-speed service)\n"
+      "  --trace-requests [R]    per-request tracing in the --serve demo:\n"
+      "                          request timelines feed a tail-sampled\n"
+      "                          flight recorder (served on /debug/requests\n"
+      "                          and /debug/request/<id> with\n"
+      "                          --serve-metrics) and e2e/queue-wait\n"
+      "                          exemplars; optional head-sample rate R in\n"
+      "                          [0,1] (default 0 = tail-only). Prints the\n"
+      "                          3 slowest request timelines after the run.\n"
       "other:\n"
       "  --dump-graph, --dump-kernels, --help\n",
       argv0);
@@ -176,6 +185,8 @@ int main(int argc, char** argv) {
   long serve_tenants = 2, serve_workers = 2, serve_batch = 8;
   double serve_rate = 200.0, serve_duration_ms = 1000.0;
   double serve_wait_ms = 2.0, serve_pacing = 0.05;
+  bool trace_requests = false;
+  double trace_head_rate = 0.0;
   std::string save_db, load_db, trace_path, metrics_path, journal_path;
   tune::TuneJournal journal;
   for (int i = 3; i < argc; ++i) {
@@ -260,6 +271,19 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --serve-pacing '%s'\n\n", argv[i]);
         usage(argv[0], stderr);
         return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--trace-requests")) {
+      trace_requests = true;
+      // Optional head-sample rate: consume the next token when it is a
+      // value rather than a flag. Strict — a malformed rate is exit 2, not
+      // a silently ignored argument.
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        if (!parse_double_arg(argv[++i], 0.0, 1.0, &trace_head_rate)) {
+          std::fprintf(stderr, "bad --trace-requests head_rate '%s'\n\n",
+                       argv[i]);
+          usage(argv[0], stderr);
+          return 2;
+        }
       }
     } else if (!std::strcmp(argv[i], "--fallback-nms")) {
       opts.cpu_fallback_ops = {graph::OpKind::kBoxNms,
@@ -462,10 +486,28 @@ int main(int argc, char** argv) {
     obs::TelemetrySampler::Options sopts;
     sopts.interval_ms = static_cast<int>(metrics_interval_ms);
     obs::TelemetrySampler sampler(sopts);
+
+    serve::EngineOptions eo;
+    eo.num_workers = static_cast<int>(serve_workers);
+    eo.queue.max_depth = 256;
+    eo.queue.max_batch_size = static_cast<int>(serve_batch);
+    eo.queue.max_wait_ms = serve_wait_ms;
+    eo.sim_pacing = serve_pacing;
+    eo.trace.enabled = trace_requests;
+    eo.trace.head_sample_rate = trace_head_rate;
+    serve::ServingEngine engine(eo);
+
     obs::MetricsHttpServer::Options hopts;
     hopts.port = static_cast<uint16_t>(serve_port);
     hopts.sampler = &sampler;
     hopts.const_labels = {{"model", model_name}, {"platform", platform.name}};
+    hopts.health = [&engine](bool* healthy) {
+      const serve::EngineHealth h = engine.health();
+      *healthy = h.healthy();
+      return h.json();
+    };
+    hopts.flight_recorder = engine.flight_recorder();  // null when untraced
+    hopts.exemplars = engine.exemplars();
     obs::MetricsHttpServer server(hopts);
     if (serve) {
       sampler.start();
@@ -478,14 +520,6 @@ int main(int argc, char** argv) {
                   server.port());
       std::fflush(stdout);
     }
-
-    serve::EngineOptions eo;
-    eo.num_workers = static_cast<int>(serve_workers);
-    eo.queue.max_depth = 256;
-    eo.queue.max_batch_size = static_cast<int>(serve_batch);
-    eo.queue.max_wait_ms = serve_wait_ms;
-    eo.sim_pacing = serve_pacing;
-    serve::ServingEngine engine(eo);
     for (long t = 0; t < serve_tenants; ++t) {
       serve::TenantSpec spec;
       spec.name = model_name + "#" + std::to_string(t);
@@ -557,6 +591,43 @@ int main(int argc, char** argv) {
       std::printf("  %-24s completed %lld\n", engine.tenant_name(t).c_str(),
                   static_cast<long long>(
                       s.completed_per_tenant[static_cast<size_t>(t)]));
+    }
+    if (trace_requests && engine.flight_recorder() != nullptr) {
+      // Post-run flight-recorder readout: the retained timelines with the
+      // highest end-to-end latency, event by event.
+      std::vector<obs::RequestTimeline> tls =
+          engine.flight_recorder()->snapshot();
+      std::sort(tls.begin(), tls.end(),
+                [](const obs::RequestTimeline& a,
+                   const obs::RequestTimeline& b) {
+                  if (a.e2e_ms() != b.e2e_ms()) return a.e2e_ms() > b.e2e_ms();
+                  return a.trace_id < b.trace_id;
+                });
+      std::printf("  -- 3 slowest traced requests (%zu retained, %lld "
+                  "offered) --\n",
+                  tls.size(),
+                  static_cast<long long>(engine.flight_recorder()->offered()));
+      const size_t top = tls.size() < 3 ? tls.size() : 3;
+      for (size_t i = 0; i < top; ++i) {
+        const obs::RequestTimeline& tl = tls[i];
+        std::printf("  #%llu %s %s e2e %.2f ms\n",
+                    static_cast<unsigned long long>(tl.trace_id),
+                    tl.tenant_name.c_str(),
+                    obs::request_status_name(tl.status), tl.e2e_ms());
+        for (const obs::RequestEvent& e : tl.events) {
+          std::printf("    %+9.3f ms %-12s", e.t_ms - tl.submit_ms(),
+                      obs::request_event_name(e.kind));
+          if (e.queue_depth >= 0) std::printf(" depth=%d", e.queue_depth);
+          if (e.batch_id >= 0)
+            std::printf(" batch=%lld", static_cast<long long>(e.batch_id));
+          if (e.batch_size > 0) std::printf(" size=%d", e.batch_size);
+          if (e.worker_id >= 0) std::printf(" worker=%d", e.worker_id);
+          if (e.sim_latency_ms > 0.0)
+            std::printf(" sim=%.3fms", e.sim_latency_ms);
+          if (!e.detail.empty()) std::printf(" %s", e.detail.c_str());
+          std::printf("\n");
+        }
+      }
     }
     if (serve) {
       server.stop();

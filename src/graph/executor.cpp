@@ -337,9 +337,6 @@ class ExecutorImpl {
     const int peak = ready_peak.load(std::memory_order_relaxed);
     auto& reg = obs::MetricsRegistry::global();
     reg.gauge("exec.ready_queue_peak").update_max(peak);
-    // Deprecated alias of exec.ready_queue_peak (the scheduler is part of
-    // the exec.* family); dual-recorded for one release — see DESIGN.md.
-    reg.gauge("sched.ready_queue_peak").update_max(peak);
   }
 
   /// Anti-dependency edges derived from the memory plan. The planner assigns
@@ -524,9 +521,6 @@ class ExecutorImpl {
     static auto& copies = m.counter("exec.copies");
     static auto& copy_bytes = m.counter("exec.copy_bytes");
     static auto& node_ms = m.histogram("exec.node_ms");
-    // Deprecated alias of exec.node_ms (every other duration family uses
-    // _ms); dual-recorded for one release — see DESIGN.md.
-    static auto& node_us = m.histogram("exec.node_us");
     static auto& sim_launches = m.counter("sim.launches");
     static auto& sim_flops = m.counter("sim.flops");
     static auto& sim_dram = m.counter("sim.dram_bytes");
@@ -544,7 +538,6 @@ class ExecutorImpl {
       }
       const double run_ms = node_runs_[static_cast<size_t>(n.id)].ms;
       node_ms.observe(run_ms);
-      node_us.observe(static_cast<int64_t>(run_ms * 1000.0));
     }
     for (const sim::ClockEvent& e : result.events) {
       if (e.lane == sim::Lane::kGpu) kernels.add(1);

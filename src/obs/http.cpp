@@ -7,9 +7,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include "obs/prom.h"
+#include "obs/request_trace.h"
 #include "obs/sampler.h"
 
 namespace igc::obs {
@@ -20,6 +22,7 @@ std::string status_line(int code) {
     case 200: return "HTTP/1.1 200 OK";
     case 404: return "HTTP/1.1 404 Not Found";
     case 405: return "HTTP/1.1 405 Method Not Allowed";
+    case 503: return "HTTP/1.1 503 Service Unavailable";
     default: return "HTTP/1.1 400 Bad Request";
   }
 }
@@ -159,24 +162,64 @@ std::string MetricsHttpServer::respond(const std::string& method,
                          "only GET is supported\n");
   }
   if (path == "/healthz") {
+    if (opts_.health) {
+      bool healthy = false;
+      const std::string body = opts_.health(&healthy);
+      return make_response(healthy ? 200 : 503, "application/json",
+                           body + "\n");
+    }
     return make_response(200, "text/plain; charset=utf-8", "ok\n");
   }
   if (path == "/metrics") {
-    return make_response(
-        200, prom_content_type(),
-        to_prometheus(registry_->snapshot(), opts_.const_labels));
+    return make_response(200, prom_content_type(),
+                         to_prometheus(registry_->snapshot(),
+                                       opts_.const_labels, opts_.exemplars));
   }
   if (path == "/snapshot.json") {
-    return make_response(200, "application/json",
-                         registry_->snapshot().json());
+    std::string body = registry_->snapshot().json();
+    if (opts_.exemplars != nullptr && !body.empty() && body.back() == '}') {
+      // Splice the exemplar map in as one more top-level member. The base
+      // document is a flat object, so inserting before the closing brace
+      // keeps it valid (existing consumers key by name and are unaffected).
+      body.pop_back();
+      body += body.size() > 1 ? ", " : "";
+      body += "\"exemplars\": " + opts_.exemplars->json() + "}";
+    }
+    return make_response(200, "application/json", body);
   }
   if (path == "/series.json" && opts_.sampler != nullptr) {
     return make_response(200, "application/json",
                          opts_.sampler->series_json());
   }
+  if (opts_.flight_recorder != nullptr) {
+    if (path == "/debug/requests") {
+      return make_response(
+          200, "application/json",
+          request_summaries_json(opts_.flight_recorder->snapshot()));
+    }
+    const std::string prefix = "/debug/request/";
+    if (path.rfind(prefix, 0) == 0) {
+      const std::string id_text = path.substr(prefix.size());
+      uint64_t id = 0;
+      bool valid = !id_text.empty() && id_text.size() <= 20;
+      for (char c : id_text) valid = valid && c >= '0' && c <= '9';
+      if (valid) id = std::strtoull(id_text.c_str(), nullptr, 10);
+      if (!valid) {
+        return make_response(404, "text/plain; charset=utf-8",
+                             "bad trace id\n");
+      }
+      const auto tl = opts_.flight_recorder->find(id);
+      if (!tl.has_value()) {
+        return make_response(404, "text/plain; charset=utf-8",
+                             "trace id not retained\n");
+      }
+      return make_response(200, "application/json", tl->json());
+    }
+  }
   return make_response(404, "text/plain; charset=utf-8",
                        "unknown endpoint; try /metrics /healthz "
-                       "/snapshot.json /series.json\n");
+                       "/snapshot.json /series.json /debug/requests "
+                       "/debug/request/<id>\n");
 }
 
 }  // namespace igc::obs

@@ -1,9 +1,17 @@
 // Minimal blocking HTTP/1.1 listener serving the telemetry endpoints:
 //
-//   GET /metrics        Prometheus text exposition of the registry
-//   GET /healthz        liveness probe ("ok")
-//   GET /snapshot.json  one-shot registry snapshot (the --metrics document)
-//   GET /series.json    sampler time series (404 unless a sampler is wired)
+//   GET /metrics            Prometheus text exposition of the registry
+//                           (with per-bucket exemplars when a store is wired)
+//   GET /healthz            liveness probe: engine liveness JSON with
+//                           200/503 when a health callback is wired,
+//                           legacy plain "ok" otherwise
+//   GET /snapshot.json      one-shot registry snapshot (the --metrics
+//                           document, plus an "exemplars" member when wired)
+//   GET /series.json        sampler time series (404 unless a sampler is
+//                           wired)
+//   GET /debug/requests     flight-recorder summaries, slowest first (404
+//                           unless a recorder is wired)
+//   GET /debug/request/<id> one retained request's full JSON timeline
 //
 // Scope: one background thread, one connection at a time, GET only — a
 // scrape target, not a web server. Requests are answered from a fresh
@@ -17,6 +25,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <thread>
@@ -26,6 +35,8 @@
 namespace igc::obs {
 
 class TelemetrySampler;
+class FlightRecorder;
+class ExemplarStore;
 
 class MetricsHttpServer {
  public:
@@ -39,6 +50,17 @@ class MetricsHttpServer {
     /// When set, /series.json serves this sampler's time series. Must
     /// outlive the server.
     const TelemetrySampler* sampler = nullptr;
+    /// When set, /debug/requests and /debug/request/<id> serve this flight
+    /// recorder's retained timelines. Must outlive the server.
+    const FlightRecorder* flight_recorder = nullptr;
+    /// When set, /metrics bucket lines carry exemplar trace ids and
+    /// /snapshot.json gains an "exemplars" member. Must outlive the server.
+    const ExemplarStore* exemplars = nullptr;
+    /// When set, /healthz serves this callback's JSON body with 200 when it
+    /// sets *healthy and 503 otherwise — the serving engine wires its
+    /// liveness here so probes distinguish "process up" from "engine
+    /// serving". Absent, /healthz answers the legacy plain-text 200 "ok".
+    std::function<std::string(bool* healthy)> health;
     /// Labels stamped onto every Prometheus sample (model, platform, ...).
     std::map<std::string, std::string> const_labels;
   };

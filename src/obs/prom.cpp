@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/request_trace.h"
+
 namespace igc::obs {
 namespace {
 
@@ -81,8 +83,13 @@ std::string prom_escape_label_value(const std::string& value) {
 
 std::string to_prometheus(
     const MetricsSnapshot& snap,
-    const std::map<std::string, std::string>& const_labels) {
+    const std::map<std::string, std::string>& const_labels,
+    const ExemplarStore* exemplars) {
   const std::string labels = label_block(const_labels);
+  // Exemplars are keyed by the raw (pre-sanitization) metric name, the same
+  // name the snapshot's histogram map uses.
+  std::map<std::string, std::map<int, ExemplarStore::Exemplar>> ex;
+  if (exemplars != nullptr) ex = exemplars->snapshot();
   std::string out;
 
   for (const auto& [name, v] : snap.counters) {
@@ -106,6 +113,7 @@ std::string to_prometheus(
     // list is index-ascending, so the le bounds are strictly increasing and
     // the cumulative counts monotone — both exposition-format requirements.
     int64_t cumulative = 0;
+    const auto metric_ex = ex.find(name);
     for (const auto& [i, n] : h.buckets) {
       cumulative += n;
       std::string le = "le=\"";
@@ -116,6 +124,16 @@ std::string to_prometheus(
       le += '"';
       out += pname + "_bucket" + label_block(const_labels, le) + " ";
       append_int(out, cumulative);
+      if (metric_ex != ex.end()) {
+        const auto bucket_ex = metric_ex->second.find(i);
+        if (bucket_ex != metric_ex->second.end()) {
+          char ebuf[32];
+          std::snprintf(ebuf, sizeof(ebuf), "%" PRIu64,
+                        bucket_ex->second.trace_id);
+          out += std::string(" # {trace_id=\"") + ebuf + "\"} ";
+          append_num(out, bucket_ex->second.value);
+        }
+      }
       out += "\n";
     }
     // A snapshot racing an observe() can see a bucket increment before the

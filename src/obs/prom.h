@@ -22,16 +22,23 @@
 
 namespace igc::obs {
 
+class ExemplarStore;
+
 /// Sanitizes `name` into a valid Prometheus metric name.
 std::string prom_metric_name(const std::string& name);
 
 /// Escapes a label value for the text exposition format.
 std::string prom_escape_label_value(const std::string& value);
 
-/// Renders the snapshot as Prometheus text exposition.
+/// Renders the snapshot as Prometheus text exposition. When `exemplars` is
+/// given, histogram bucket lines whose metric has a recorded exemplar gain
+/// an OpenMetrics-style suffix (` # {trace_id="42"} 1.25`) linking the
+/// bucket to a concrete request timeline; 0.0.4 scrapers treat everything
+/// after '#' as a comment, so the addition is backward compatible.
 std::string to_prometheus(
     const MetricsSnapshot& snap,
-    const std::map<std::string, std::string>& const_labels = {});
+    const std::map<std::string, std::string>& const_labels = {},
+    const ExemplarStore* exemplars = nullptr);
 
 /// Content-Type the exposition format mandates.
 inline const char* prom_content_type() {

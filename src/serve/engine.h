@@ -52,6 +52,7 @@
 
 #include "core/compiler.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "serve/queue.h"
 #include "serve/request.h"
 
@@ -84,6 +85,22 @@ struct EngineOptions {
   double sim_pacing = 0.0;
   /// Metrics destination; null uses the process-wide registry.
   obs::MetricsRegistry* registry = nullptr;
+  /// Request tracing (obs/request_trace.h). Off by default. When enabled,
+  /// every request carries an event timeline through the pipeline (appended
+  /// lock-free by whichever stage owns the request), finished timelines
+  /// feed the engine's tail-sampled FlightRecorder, and completions record
+  /// serve.e2e_ms / serve.queue_wait_ms exemplars. Tracing never changes
+  /// scheduling, admission, or numerics — only what is remembered.
+  struct TraceOptions {
+    bool enabled = false;
+    /// Deterministic head-sample rate for normal completions, [0, 1].
+    double head_sample_rate = 0.0;
+    /// Flight-recorder retention (per worker shard; see FlightRecorder).
+    int keep_slowest = 8;
+    int keep_errors = 256;
+    int keep_head = 64;
+  };
+  TraceOptions trace;
   /// Shared physical page pool for every worker's serving contexts. Null
   /// (the default) lets start() create an unbounded pool when any tenant
   /// runs with an arena; pass one explicitly to cap memory (PagePool::
@@ -109,6 +126,21 @@ struct EngineStats {
   int queue_depth_peak = 0;
   /// Completed-request counts per tenant (index = tenant id).
   std::vector<int64_t> completed_per_tenant;
+};
+
+/// Liveness snapshot for /healthz: distinguishes "process up" from "engine
+/// serving". Healthy means serving && scheduler_alive && queue_open &&
+/// workers > 0.
+struct EngineHealth {
+  bool serving = false;          ///< admission open (start()ed, not stopped)
+  bool scheduler_alive = false;  ///< scheduler thread still in its loop
+  bool queue_open = false;       ///< request queue exists and is not closed
+  int workers = 0;               ///< worker threads currently in their loop
+
+  bool healthy() const {
+    return serving && scheduler_alive && queue_open && workers > 0;
+  }
+  std::string json() const;
 };
 
 class ServingEngine {
@@ -146,12 +178,23 @@ class ServingEngine {
 
   EngineStats stats() const;
 
+  /// Liveness for external probes (see EngineHealth). Thread-safe.
+  EngineHealth health() const;
+
+  /// The tail-sampled flight recorder holding retained request timelines;
+  /// null unless EngineOptions::trace.enabled. Valid (and stable) for the
+  /// engine's lifetime, including after stop() — post-run analysis reads it.
+  const obs::FlightRecorder* flight_recorder() const { return flight_.get(); }
+  /// Histogram exemplars recorded by completions; null unless tracing.
+  const obs::ExemplarStore* exemplars() const { return exemplars_.get(); }
+
  private:
   void scheduler_main();
   void worker_main(int worker_id);
   void execute_batch(Batch batch,
-                     std::vector<std::unique_ptr<ServingContext>>& contexts);
-  void record_refusal(Admission a);
+                     std::vector<std::unique_ptr<ServingContext>>& contexts,
+                     int worker_id);
+  void record_refusal(Admission a, int tenant);
 
   EngineOptions opts_;
   std::vector<TenantSpec> tenants_;
@@ -168,9 +211,13 @@ class ServingEngine {
   std::atomic<bool> running_{false};
   bool started_ = false;
   bool stopped_ = false;
-  std::mutex lifecycle_mu_;  // serializes start()/stop()
+  mutable std::mutex lifecycle_mu_;  // serializes start()/stop(), health()
   std::thread scheduler_;
   std::vector<std::thread> workers_;
+  // Liveness signals for health(): flipped by the threads themselves, so a
+  // crashed/exited scheduler shows up even while running_ is still true.
+  std::atomic<bool> scheduler_alive_{false};
+  std::atomic<int> workers_alive_{0};
 
   std::atomic<uint64_t> next_id_{1};
   std::atomic<int64_t> submitted_{0}, admitted_{0}, shed_{0};
@@ -179,6 +226,23 @@ class ServingEngine {
   std::atomic<int64_t> completed_{0}, failed_{0}, batches_formed_{0};
   std::atomic<int> depth_peak_{0};
   std::vector<std::unique_ptr<std::atomic<int64_t>>> completed_per_tenant_;
+
+  // Request tracing (null when off). The recorder and exemplar store are
+  // engine-owned so their lifetime covers post-run /debug reads.
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::unique_ptr<obs::ExemplarStore> exemplars_;
+
+  // serve.tenant.<name>.* instruments, resolved at start() once tenant
+  // names are final (index = tenant id).
+  struct TenantInstruments {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Histogram* e2e = nullptr;
+  };
+  std::vector<TenantInstruments> tenant_metrics_;
 
   // serve.* instruments, resolved once against opts_.registry.
   obs::Counter* m_submitted_ = nullptr;

@@ -45,8 +45,18 @@ Admission RequestQueue::offer(RequestPtr& req, double now_ms) {
   if (depth_ >= opts_.max_depth) return Admission::kRejectedQueueFull;
   if (depth_ >= shed_watermark_) return Admission::kShedWatermark;
   req->enqueue_ms = now_ms;
-  lanes_[static_cast<size_t>(req->tenant)].push_back(std::move(req));
   ++depth_;
+  if (req->timeline != nullptr) {
+    // Stamped here, under the queue mutex, because ownership transfers to
+    // the queue on this push — the depth recorded is the depth the request
+    // itself contributed to.
+    obs::RequestEvent e;
+    e.kind = obs::RequestEventKind::kAdmit;
+    e.t_ms = now_ms;
+    e.queue_depth = depth_;
+    req->timeline->add(std::move(e));
+  }
+  lanes_[static_cast<size_t>(req->tenant)].push_back(std::move(req));
   cv_.notify_one();
   return Admission::kAdmitted;
 }

@@ -44,6 +44,9 @@ namespace igc::serve {
 /// popped from the queue in FIFO order.
 struct Batch {
   int tenant = -1;
+  /// Engine-wide batch sequence number, stamped by the scheduler when the
+  /// batch is formed (-1 until then). Request timelines reference it.
+  int64_t id = -1;
   /// Engine-clock time the batch was formed (each member's schedule_ms).
   double formed_ms = 0.0;
   std::vector<RequestPtr> requests;

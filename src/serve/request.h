@@ -16,6 +16,8 @@
 #include <memory>
 #include <string>
 
+#include "obs/request_trace.h"
+
 namespace igc::serve {
 
 /// Admission control's verdict for one submitted request. Only kAdmitted
@@ -75,6 +77,11 @@ struct Request {
   uint64_t input_seed = 0;
   double enqueue_ms = 0.0;
   std::promise<RequestOutcome> done;
+  /// Request-scoped trace (null when tracing is off). Rides with the
+  /// request under the same single-owner rule as every other field, so
+  /// event appends take no lock; the owning stage hands the finished
+  /// timeline to the engine's FlightRecorder at the terminal event.
+  std::unique_ptr<obs::RequestTimeline> timeline;
 };
 
 using RequestPtr = std::unique_ptr<Request>;

@@ -16,13 +16,6 @@ obs::Counter& trials_counter() {
   return c;
 }
 
-// Deprecated alias of tune.trials (the family is named after the tune/
-// module); dual-recorded for one release — see DESIGN.md.
-obs::Counter& legacy_trials_counter() {
-  static auto& c = obs::MetricsRegistry::global().counter("tuner.trials");
-  return c;
-}
-
 class Recorder {
  public:
   Recorder(const MeasureFn& measure, const TuneOptions& opts)
@@ -38,7 +31,6 @@ class Recorder {
     IGC_CHECK_GT(ms, 0.0);
     ++trials_;
     trials_counter().add(1);
-    legacy_trials_counter().add(1);
     xs_.push_back(config_features(cfg));
     ys_.push_back(ms);
     if (ms < best_ms_) {

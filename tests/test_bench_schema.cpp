@@ -129,6 +129,17 @@ void validate_row(const obs::json::Value& row, const std::string& source) {
       EXPECT_LE(p95, p99) << source;
     }
   }
+  if (row.has("trace_overhead_pct")) {
+    // v8: the goodput cost of request tracing, measured on the cells that
+    // replay with tracing on. Engine rows only; wall-clock noisy, so the
+    // tolerance band is wide on the low side — but a committed baseline
+    // must stay under the 2% acceptance bound.
+    EXPECT_GE(v, 8) << source;
+    EXPECT_EQ(row.at("bench").as_string(), "serving_engine") << source;
+    const double pct = row.at("trace_overhead_pct").as_number();
+    EXPECT_GT(pct, -10.0) << source << ": traced replay implausibly faster";
+    EXPECT_LT(pct, 2.0) << source << ": tracing must cost < 2% goodput";
+  }
   if (row.at("bench").as_string() == "serving_engine_summary") {
     // Shipped only when the worker pool actually scales goodput.
     EXPECT_GT(row.at("worker_scaling").as_number(), 1.0) << source;

@@ -355,6 +355,16 @@ TEST(Metrics, DeltasIdenticalAcrossRepeatedArenaRuns) {
             d1.counters.at("sim.launches"));
   EXPECT_EQ(d1.histograms.at("sim.launch_occupancy_pct").count,
             d1.counters.at("sim.launches"));
+
+  // The deprecated alias instruments were removed after their deprecation
+  // window; only the canonical names (exec.node_ms, exec.ready_queue_peak,
+  // tune.trials) may appear in a post-run snapshot.
+  for (const char* dead :
+       {"exec.node_us", "sched.ready_queue_peak", "tuner.trials"}) {
+    EXPECT_EQ(s2.counters.count(dead), 0u) << dead;
+    EXPECT_EQ(s2.gauges.count(dead), 0u) << dead;
+    EXPECT_EQ(s2.histograms.count(dead), 0u) << dead;
+  }
 }
 
 // ----- simulated hardware counters -----------------------------------------
